@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one artefact of the paper (a table, the figure,
+the XML snippet) or measures one of its qualitative claims (portability,
+reuse, defect detection) and prints the reproduced content next to the
+expectation, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+experiment log for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dut import InteriorLightEcu, LoadSpec, TestHarness, body_can_database
+
+
+def interior_harness(ecu=None) -> TestHarness:
+    """The paper's wiring (lamp between INT_ILL_F and INT_ILL_R) around an ECU."""
+    return TestHarness(ecu or InteriorLightEcu(), body_can_database(),
+                       loads=(LoadSpec("INT_ILL_F", "INT_ILL_R", 6.0),))
+
+
+@pytest.fixture
+def print_block(capsys):
+    """Print a titled block outside of pytest's capture (visible with -s)."""
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print()
+            print("#" * 78)
+            print(f"# {title}")
+            print("#" * 78)
+            print(body)
+    return _print

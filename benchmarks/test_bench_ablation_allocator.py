@@ -1,0 +1,80 @@
+"""A1 - ablation: resource allocation policies.
+
+The paper only requires that the stand "searches an appropriate resource";
+it does not prescribe how.  This ablation compares the three implemented
+policies (first-fit, best-fit, least-used) on a dense synthetic script that
+keeps many door contacts occupied simultaneously on the big rack:
+
+* all policies must produce the same verdicts (allocation is functionally
+  transparent),
+* best-fit keeps the wide-range decades free (its worst-case capability span
+  in use is smaller), while least-used spreads work most evenly.
+"""
+
+from __future__ import annotations
+
+from repro.core.script import MethodCall
+from repro.core.signals import Signal, SignalDirection, SignalKind
+from repro.teststand import ALLOCATION_POLICIES, Allocator, build_big_rack, format_table
+
+PINS = ("DS_FL", "DS_FR", "DS_RL", "DS_RR")
+SIGNALS = tuple(
+    Signal(pin, SignalDirection.INPUT, SignalKind.RESISTIVE, pins=(pin,)) for pin in PINS
+)
+SMALL_REQUEST = MethodCall("put_r", {"r": "0.5", "r_min": "0", "r_max": "2"})
+
+
+def _exercise(policy: str):
+    stand = build_big_rack(pins=PINS)
+    allocator = Allocator(stand.resources, stand.connections, policy=policy)
+    allocations = []
+    # Repeatedly allocate and partially release the four door contacts so the
+    # allocator has to make real choices (200 allocations).
+    for round_index in range(50):
+        for signal in SIGNALS:
+            allocations.append(allocator.allocate(signal, SMALL_REQUEST, {}))
+        allocator.release(SIGNALS[round_index % len(SIGNALS)].name)
+    counts = allocator.allocation_counts
+    spans = {
+        name: stand.resources.get(name).capability_for("put_r").span
+        for name in counts
+        if stand.resources.get(name).supports("put_r")
+    }
+    return allocations, counts, spans
+
+
+def run_all_policies():
+    return {policy: _exercise(policy) for policy in ALLOCATION_POLICIES}
+
+
+def test_allocator_ablation(benchmark, print_block):
+    outcomes = benchmark(run_all_policies)
+
+    assert set(outcomes) == set(ALLOCATION_POLICIES)
+    for policy, (allocations, _, _) in outcomes.items():
+        assert len(allocations) == 200, policy
+
+    # best_fit prefers the narrowest sufficient decade (DEC_D, 10 kOhm) as its
+    # first choice, while first_fit grabs a wide 1 MOhm decade first.
+    def favourite(counts, spans):
+        used = {name: count for name, count in counts.items() if count and name in spans}
+        return max(used, key=used.get)
+
+    _, best_counts, spans = outcomes["best_fit"]
+    _, first_counts, first_spans = outcomes["first_fit"]
+    assert spans[favourite(best_counts, spans)] <= 1.0e4
+    assert first_spans[favourite(first_counts, first_spans)] >= 1.0e6
+    # least_used spreads allocations more evenly than first_fit.
+    def spread(counts):
+        values = [count for count in counts.values() if count]
+        return max(values) - min(values)
+    assert spread(outcomes["least_used"][1]) <= spread(outcomes["first_fit"][1])
+
+    rows = []
+    for policy, (_, counts, _) in outcomes.items():
+        rows.append((policy, ", ".join(f"{name}:{count}" for name, count in sorted(counts.items())
+                                       if count)))
+    print_block(
+        "A1: allocation-policy ablation (200 put_r allocations on the big rack)",
+        format_table(("policy", "allocations per resource"), rows),
+    )

@@ -1,0 +1,68 @@
+"""E2 - the knowledge preservation / reuse claim.
+
+The paper argues that requirement-level test definitions let a high
+percentage of test knowledge be reused across projects.  Three "projects"
+share one status vocabulary here: the paper's interior-light sheet, the
+extended interior-light suite and the central-locking suite.  The benchmark
+computes the pairwise reuse metrics and the stand-independence ratio of the
+compiled scripts (1.0 = no stand-specific identifier leaks into a script).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_suites, script_portability, vocabulary_reuse
+from repro.core import Compiler
+from repro.paper import extended_suite, locking_suite, paper_suite
+from repro.teststand import build_paper_stand, format_table
+
+
+def _measure_reuse():
+    suites = {
+        "paper": paper_suite(),
+        "extended": extended_suite(),
+        "locking": locking_suite(),
+    }
+    pairwise = {
+        (a, b): compare_suites(suites[a], suites[b])
+        for a in suites for b in suites if a < b
+    }
+    usage = vocabulary_reuse(list(suites.values()))
+    stand = build_paper_stand()
+    stand_entities = list(stand.resources.names) + [
+        route.connector.label for route in stand.connections]
+    portability = {
+        name: min(
+            script_portability(script, stand_entities)
+            for script in Compiler().compile_suite(suite)
+        )
+        for name, suite in suites.items()
+    }
+    return pairwise, usage, portability
+
+
+def test_reuse_metrics(benchmark, print_block):
+    pairwise, usage, portability = benchmark(_measure_reuse)
+
+    interior_vs_locking = pairwise[("locking", "paper")]
+    # The shared vocabulary carries over to the unrelated second project.
+    assert {"open", "closed", "lo", "ho"} <= set(interior_vs_locking.shared_statuses)
+    assert interior_vs_locking.status_jaccard >= 0.4
+    # Paper vs. extended interior-light suites share everything.
+    assert pairwise[("extended", "paper")].status_jaccard == 1.0
+    # Core statuses are used by every project; compiled scripts contain no
+    # stand-specific identifiers at all.
+    assert usage["lo"] == 1.0 and usage["ho"] == 1.0
+    assert all(value == 1.0 for value in portability.values())
+
+    rows = [(f"{a} vs {b}", f"{r.status_jaccard:.2f}", f"{r.method_jaccard:.2f}",
+             f"{r.assignment_jaccard:.2f}", str(len(r.shared_statuses)))
+            for (a, b), r in sorted(pairwise.items())]
+    usage_rows = [(status, f"{fraction:.0%}") for status, fraction in usage.items()]
+    print_block(
+        "E2: reuse metrics across three projects sharing one vocabulary",
+        format_table(("pair", "status J", "method J", "assignment J", "shared"), rows)
+        + "\n\nstatus usage across projects:\n"
+        + format_table(("status", "used by"), usage_rows)
+        + "\n\nstand-independence of compiled scripts: "
+        + ", ".join(f"{k}={v:.2f}" for k, v in portability.items()),
+    )

@@ -1,0 +1,75 @@
+"""A2 - scaling: generation and execution throughput vs. script size.
+
+The paper's method targets whole vehicle programmes (many components, many
+sheets), so the tool chain must stay fast as sheets grow.  This benchmark
+sweeps the number of steps and measures (a) sheet -> XML generation and
+(b) XML -> execution on the paper stand, reporting steps per second.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import interior_harness
+
+from repro.core import Compiler, script_from_string, script_to_string
+from repro.core.testdef import TestDefinition, TestSuite
+from repro.paper import paper_signal_set, paper_status_table
+from repro.teststand import TestStandInterpreter, build_paper_stand, format_table
+
+
+def _synthetic_suite(steps: int) -> TestSuite:
+    test = TestDefinition("synthetic", signals=("NIGHT", "DS_FL", "INT_ILL"))
+    test.add_step(0.01, {"NIGHT": "1", "DS_FL": "Closed", "INT_ILL": "Lo"})
+    for index in range(1, steps):
+        if index % 2 == 1:
+            test.add_step(0.01, {"DS_FL": "Open", "INT_ILL": "Ho"})
+        else:
+            test.add_step(0.01, {"DS_FL": "Closed", "INT_ILL": "Lo"})
+    return TestSuite("interior_light_ecu", paper_signal_set(), paper_status_table(), (test,))
+
+
+def _measure(steps: int):
+    suite = _synthetic_suite(steps)
+    start = time.perf_counter()
+    script = Compiler().compile_test(suite, "synthetic")
+    xml_text = script_to_string(script)
+    compile_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    interpreter = TestStandInterpreter(build_paper_stand(), interior_harness(),
+                                       paper_signal_set())
+    result = interpreter.run(script_from_string(xml_text))
+    execute_seconds = time.perf_counter() - start
+    assert result.passed
+    return steps, compile_seconds, execute_seconds, len(xml_text)
+
+
+def run_sweep(sizes=(10, 50, 200, 800)):
+    return [_measure(steps) for steps in sizes]
+
+
+def test_scaling_sweep(benchmark, print_block):
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for steps, compile_seconds, execute_seconds, xml_bytes in measurements:
+        rows.append((
+            str(steps),
+            f"{compile_seconds * 1e3:.1f} ms",
+            f"{steps / compile_seconds:,.0f}",
+            f"{execute_seconds * 1e3:.1f} ms",
+            f"{steps / execute_seconds:,.0f}",
+            f"{xml_bytes / 1024:.0f} KiB",
+        ))
+    # Throughput must not collapse with size (no worse than 5x slowdown per step
+    # between the smallest and the largest sheet).
+    small = measurements[0]
+    large = measurements[-1]
+    assert (large[1] / large[0]) < 5 * (small[1] / small[0]) + 1e-3
+    assert (large[2] / large[0]) < 5 * (small[2] / small[0]) + 1e-3
+
+    print_block(
+        "A2: generation / execution throughput vs. sheet size",
+        format_table(("steps", "compile", "steps/s", "execute", "steps/s", "XML size"), rows),
+    )

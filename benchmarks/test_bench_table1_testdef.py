@@ -1,0 +1,41 @@
+"""T1 - the paper's test definition sheet, regenerated and executed.
+
+Reproduces the paper's first table (the ten-step interior-illumination test)
+from the library's data model and executes it end to end on the paper's test
+stand; the paper's implicit "expected result" is that a conforming ECU passes
+every step, including the 300 s timeout pair (steps 7/8).
+The benchmark measures the wall-clock cost of one full compile + execute run.
+"""
+
+from __future__ import annotations
+
+from repro.paper import (
+    paper_test_definition,
+    render_test_definition_table,
+    run_paper_example,
+)
+
+
+def test_table1_regenerate_and_execute(benchmark, print_block):
+    table = render_test_definition_table()
+
+    def full_run():
+        return run_paper_example()
+
+    script, result = benchmark(full_run)
+
+    definition = paper_test_definition()
+    assert len(definition) == 10
+    assert definition.total_duration == 309.0
+    assert result.passed
+    assert all(step.passed for step in result.steps)
+
+    verdict_rows = "\n".join(
+        f"  step {step.number:>2}  dt={step.duration:>6}s  -> {step.verdict}"
+        for step in result.steps
+    )
+    print_block(
+        "T1: test definition sheet (paper table 1) + execution verdicts",
+        table + "\n\nexecution on paper_stand:\n" + verdict_rows
+        + f"\n  overall: {result.verdict} ({result.duration:g} s simulated)",
+    )

@@ -1,0 +1,54 @@
+"""T2 - the paper's status table, regenerated and resolved against UBATT.
+
+Reproduces the status table (7 rows) and shows how the relative ``Lo``/``Ho``
+limits resolve at three supply voltages - the mechanism behind the paper's
+``(0.7*ubatt)`` XML attributes.  The benchmark measures status-table
+construction plus parameter resolution for all statuses.
+"""
+
+from __future__ import annotations
+
+from repro.core.values import LimitExpression
+from repro.methods import default_registry
+from repro.paper import paper_status_table, render_status_table
+from repro.teststand import format_table
+
+
+def _resolve_all(ubatt_values=(9.0, 12.0, 16.0)):
+    table = paper_status_table()
+    registry = default_registry()
+    resolved = []
+    for status in table:
+        spec = registry.get(status.method)
+        params = spec.params_from_status(status)
+        for ubatt in ubatt_values:
+            values = {
+                name: LimitExpression(text).evaluate({"ubatt": ubatt})
+                for name, text in params.items()
+                if name != "data"
+            }
+            resolved.append((status.name, ubatt, values))
+    return table, resolved
+
+
+def test_table2_regenerate_and_resolve(benchmark, print_block):
+    table, resolved = benchmark(_resolve_all)
+
+    assert len(table) == 7
+    assert list(table.names) == ["Off", "Open", "Closed", "0", "1", "Lo", "Ho"]
+    ho_12 = next(values for name, ubatt, values in resolved if name == "Ho" and ubatt == 12.0)
+    assert abs(ho_12["u_min"] - 8.4) < 1e-9
+    assert abs(ho_12["u_max"] - 13.2) < 1e-9
+    lo_9 = next(values for name, ubatt, values in resolved if name == "Lo" and ubatt == 9.0)
+    assert abs(lo_9["u_max"] - 2.7) < 1e-9
+
+    rows = []
+    for name, ubatt, values in resolved:
+        if name in ("Lo", "Ho"):
+            rows.append((name, f"{ubatt:g} V",
+                         ", ".join(f"{k}={v:g}" for k, v in sorted(values.items()))))
+    print_block(
+        "T2: status table (paper table 2) + UBATT-relative limit resolution",
+        render_status_table() + "\n\n"
+        + format_table(("status", "UBATT", "resolved limits"), rows),
+    )

@@ -1,0 +1,58 @@
+"""T4 - the paper's connection matrix, regenerated, plus allocator decisions.
+
+Reproduces the routing table (Sw1.1/Sw1.2 for the DVM, Mx1..Mx4 channels for
+the two decades) and shows, for every (signal, method) of the example, which
+resource the allocator picks through which connector - the "searches an
+appropriate resource, that can be connected to the signal pin" step of the
+paper.  The benchmark measures a full allocation pass over the example.
+"""
+
+from __future__ import annotations
+
+from repro.core.script import MethodCall
+from repro.paper import paper_signal_set, render_connection_matrix
+from repro.teststand import Allocator, build_paper_stand, format_table
+
+REQUESTS = (
+    ("DS_FL", MethodCall("put_r", {"r": "0.5", "r_min": "0", "r_max": "2"})),
+    ("DS_FR", MethodCall("put_r", {"r": "0.5", "r_min": "0", "r_max": "2"})),
+    ("INT_ILL", MethodCall("get_u", {"u_min": "(0.7*ubatt)", "u_max": "(1.1*ubatt)"})),
+    ("IGN_ST", MethodCall("put_can", {"data": "0001B"})),
+    ("NIGHT", MethodCall("put_can", {"data": "1B"})),
+)
+
+
+def _allocate_all():
+    stand = build_paper_stand()
+    signals = paper_signal_set()
+    allocator = Allocator(stand.resources, stand.connections)
+    allocations = []
+    for signal_name, call in REQUESTS:
+        allocations.append(allocator.allocate(signals.get(signal_name), call, {"ubatt": 12.0}))
+    return stand, allocations
+
+
+def test_table4_connection_matrix_and_allocation(benchmark, print_block):
+    stand, allocations = benchmark(_allocate_all)
+
+    rows = {row[0]: row for row in stand.connection_rows()}
+    assert rows["Ress1"][1] == "Sw1.1" and rows["Ress1"][2] == "Sw1.2"
+    assert rows["Ress2"][3] == "Mx1.2" and rows["Ress3"][3] == "Mx1.1"
+    assert rows["Ress2"][6] == "Mx4.2" and rows["Ress3"][6] == "Mx4.1"
+
+    by_signal = {allocation.signal: allocation for allocation in allocations}
+    assert by_signal["INT_ILL"].resource == "Ress1"
+    assert by_signal["INT_ILL"].pins == ("INT_ILL_F", "INT_ILL_R")
+    assert {by_signal["DS_FL"].resource, by_signal["DS_FR"].resource} == {"Ress2", "Ress3"}
+    assert by_signal["IGN_ST"].resource == "Ress4"
+
+    allocation_rows = [
+        (a.signal, a.method, a.resource,
+         ", ".join(str(route.connector) for route in a.routes) or "<bus>")
+        for a in allocations
+    ]
+    print_block(
+        "T4: connection matrix (paper table 4) + allocator decisions",
+        render_connection_matrix(stand) + "\n\n"
+        + format_table(("signal", "method", "resource", "via"), allocation_rows),
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: define, generate and execute a component test in ~60 lines.
+
+The workflow follows the paper exactly:
+
+1. describe the DUT's signals (signal definition sheet),
+2. describe the status vocabulary (status table),
+3. write a test as timed steps assigning statuses to signals (test sheet),
+4. generate the stand-independent XML test script,
+5. execute the script on a virtual test stand against the simulated ECU.
+"""
+
+from repro.core import Compiler, Signal, SignalDirection, SignalKind, SignalSet
+from repro.core import StatusDefinition, StatusTable, TestDefinition, TestSuite
+from repro.core import script_to_string
+from repro.paper import build_paper_harness, paper_signal_set
+from repro.teststand import TestStandInterpreter, build_paper_stand, text_report
+
+# 1. Signals of the device under test (here: the interior illumination ECU).
+signals = paper_signal_set()
+
+# 2. Status vocabulary: every symbolic status is bound to a method.
+statuses = StatusTable((
+    StatusDefinition.from_cells("Off", "put_can", "data", nominal="0001B"),
+    StatusDefinition.from_cells("Open", "put_r", "r", nominal="0,5", minimum="0", maximum="2"),
+    StatusDefinition.from_cells("Closed", "put_r", "r", nominal="INF", minimum="5000", maximum="INF"),
+    StatusDefinition.from_cells("1", "put_can", "data", nominal="1B"),
+    StatusDefinition.from_cells("0", "put_can", "data", nominal="0B"),
+    StatusDefinition.from_cells("Lo", "get_u", "u", variable="UBATT",
+                                nominal="0", minimum="0", maximum="0,3"),
+    StatusDefinition.from_cells("Ho", "get_u", "u", variable="UBATT",
+                                nominal="1", minimum="0,7", maximum="1,1"),
+))
+
+# 3. A small test sheet: open the driver door at night, expect the lamp on.
+test = TestDefinition("night_courtesy_light", signals=("NIGHT", "DS_FL", "INT_ILL"))
+test.add_step(0.5, {"NIGHT": "1", "DS_FL": "Closed", "INT_ILL": "Lo"},
+              remark="night, door closed: lamp off")
+test.add_step(0.5, {"DS_FL": "Open", "INT_ILL": "Ho"},
+              remark="door open: lamp on")
+test.add_step(0.5, {"DS_FL": "Closed", "INT_ILL": "Lo"},
+              remark="door closed again: lamp off")
+
+suite = TestSuite("interior_light_ecu", signals, statuses, (test,))
+suite.validate()
+
+# 4. Generate the stand-independent XML test script.
+script = Compiler().compile_test(suite, "night_courtesy_light")
+print("Generated XML test script:")
+print(script_to_string(script))
+
+# 5. Execute it on the paper's virtual test stand against the simulated ECU.
+stand = build_paper_stand()
+harness = build_paper_harness()
+interpreter = TestStandInterpreter(stand, harness, signals)
+result = interpreter.run(script)
+
+print(text_report(result))
+print()
+print("overall verdict:", result.verdict)

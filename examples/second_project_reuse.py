@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Knowledge reuse across projects: a second ECU shares the test vocabulary.
+
+The paper's long-term goal is that OEM and suppliers build up component-test
+knowledge over many projects.  This example sets up a *second* project - the
+central locking ECU - whose sheets reuse the shared status vocabulary
+(``Open``, ``Closed``, ``0``, ``1``, ``Lo``, ``Ho``) and only add what is
+genuinely new (``Lock``, ``Unlock``, ``Locked`` ...).  It then
+
+* executes the locking suite on the big HIL rack,
+* prints the pairwise reuse metrics between the three suites
+  (paper, extended interior light, central locking), and
+* prints which fraction of the combined status vocabulary every project uses.
+"""
+
+from repro.analysis import compare_suites, vocabulary_reuse
+from repro.core import Compiler
+from repro.paper import (
+    build_locking_harness,
+    extended_suite,
+    locking_signal_set,
+    locking_suite,
+    paper_suite,
+)
+from repro.teststand import TestStandInterpreter, build_big_rack, campaign_summary, format_table
+
+
+def main() -> None:
+    suite = locking_suite()
+    compiler = Compiler()
+    stand = build_big_rack(pins=("KEY_SW", "UNLOCK_SW", "LOCK_LED", "LOCK_ACT"))
+
+    results = []
+    for test in suite:
+        script = compiler.compile_test(suite, test)
+        interpreter = TestStandInterpreter(stand, build_locking_harness(), locking_signal_set())
+        results.append(interpreter.run(script))
+    print("central locking project, executed on the big rack:")
+    print(campaign_summary(results))
+    print()
+
+    projects = {
+        "interior light (paper)": paper_suite(),
+        "interior light (extended)": extended_suite(),
+        "central locking": locking_suite(),
+    }
+    print("pairwise reuse metrics:")
+    names = list(projects)
+    rows = []
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            report = compare_suites(projects[name_a], projects[name_b])
+            rows.append((name_a, name_b, f"{report.status_jaccard:.2f}",
+                         f"{report.method_jaccard:.2f}",
+                         str(len(report.shared_statuses))))
+    print(format_table(("project A", "project B", "status J", "method J", "shared statuses"), rows))
+    print()
+
+    print("fraction of projects using each status of the combined vocabulary:")
+    usage = vocabulary_reuse(list(projects.values()))
+    rows = [(status, f"{fraction:.0%}") for status, fraction in usage.items()]
+    print(format_table(("status", "used by"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Compatibility shim so `python setup.py develop` works on older setuptools.
+
+The project metadata lives in pyproject.toml; this file only exists because
+the offline environment ships a setuptools without the `wheel` package,
+which PEP 660 editable installs require.
+"""
+from setuptools import setup
+
+setup()

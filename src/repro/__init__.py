@@ -1,0 +1,73 @@
+"""repro - test-stand-independent component testing.
+
+A from-scratch reproduction of the tool chain described in
+
+    Horst Brinkmeyer, "A New Approach to Component Testing",
+    Proceedings of DATE 2005.
+
+The package is organised along the paper's own split between test
+*definition* and test *execution*:
+
+``repro.core``
+    signal / status / test-definition model, compiler, XML generation and
+    parsing, validation - the paper's contribution.
+``repro.sheets``
+    the worksheet front-end (three sheet types, CSV persistence).
+``repro.methods``
+    the shared method vocabulary (``put_r``, ``get_u``, ``put_can``, ...).
+``repro.teststand``
+    resources, connection matrix, allocation, interpreter, reports.
+``repro.instruments``
+    virtual instruments (DVM, resistor decade, power supply, CAN ...).
+``repro.dut``
+    behavioural ECU models, electrical network, harness, CAN bus wiring.
+``repro.can``
+    frames, signal coding, message database, virtual bus.
+``repro.analysis``
+    coverage, traceability, reuse metrics, fault injection campaigns.
+``repro.paper``
+    the paper's worked example and table/figure renderings.
+"""
+
+from . import analysis, can, core, dut, instruments, methods, paper, sheets, teststand
+from .core import (
+    Compiler,
+    CompileOptions,
+    Signal,
+    SignalDirection,
+    SignalKind,
+    SignalSet,
+    StatusDefinition,
+    StatusTable,
+    TestDefinition,
+    TestScript,
+    TestSuite,
+    compile_suite,
+    compile_test,
+    parse_script,
+    read_script,
+    script_to_string,
+    write_script,
+)
+from .teststand import (
+    TestStand,
+    TestStandInterpreter,
+    build_big_rack,
+    build_minimal_bench,
+    build_paper_stand,
+    run_script,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core", "sheets", "methods", "teststand", "instruments", "dut", "can",
+    "analysis", "paper",
+    "Signal", "SignalDirection", "SignalKind", "SignalSet",
+    "StatusDefinition", "StatusTable", "TestDefinition", "TestSuite", "TestScript",
+    "Compiler", "CompileOptions", "compile_test", "compile_suite",
+    "script_to_string", "write_script", "parse_script", "read_script",
+    "TestStand", "TestStandInterpreter", "run_script",
+    "build_paper_stand", "build_big_rack", "build_minimal_bench",
+]

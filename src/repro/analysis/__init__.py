@@ -1,0 +1,37 @@
+"""Analysis extensions: coverage, traceability, reuse metrics, fault injection."""
+
+from .campaign import CampaignResult, FaultCampaign, FaultRunOutcome
+from .coverage import CoverageReport, compute_coverage
+from .faults import (
+    FaultCatalogue,
+    FaultModel,
+    central_locking_faults,
+    interior_light_faults,
+)
+from .reuse import ReuseReport, compare_suites, script_portability, vocabulary_reuse
+from .traceability import (
+    Requirement,
+    RequirementCatalogue,
+    TraceabilityReport,
+    trace_requirements,
+)
+
+__all__ = [
+    "CoverageReport",
+    "compute_coverage",
+    "Requirement",
+    "RequirementCatalogue",
+    "TraceabilityReport",
+    "trace_requirements",
+    "ReuseReport",
+    "compare_suites",
+    "vocabulary_reuse",
+    "script_portability",
+    "FaultModel",
+    "FaultCatalogue",
+    "interior_light_faults",
+    "central_locking_faults",
+    "FaultCampaign",
+    "FaultRunOutcome",
+    "CampaignResult",
+]

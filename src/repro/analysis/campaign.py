@@ -1,0 +1,146 @@
+"""Fault-injection campaigns: running suites against seeded defects.
+
+A campaign answers the question the paper's motivation raises: *do the
+preserved test cases actually catch the bugs that have occurred in the
+past?*  For every fault model the campaign executes every script of the
+suite on a fresh faulty ECU and records whether any step failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..core.script import TestScript
+from ..core.signals import SignalSet
+from ..dut.base import EcuModel
+from ..dut.harness import TestHarness
+from ..teststand.interpreter import TestStandInterpreter
+from ..teststand.report import format_table
+from ..teststand.stands import TestStand
+from ..teststand.verdict import TestResult, Verdict
+from .faults import FaultCatalogue, FaultModel
+
+__all__ = ["FaultRunOutcome", "CampaignResult", "FaultCampaign"]
+
+HarnessFactory = Callable[[EcuModel], TestHarness]
+StandFactory = Callable[[], TestStand]
+
+
+@dataclass(frozen=True)
+class FaultRunOutcome:
+    """Result of running the whole suite against one fault model."""
+
+    fault: FaultModel
+    results: tuple[TestResult, ...]
+
+    @property
+    def detected(self) -> bool:
+        """The fault counts as detected when at least one step failed."""
+        return any(not result.passed for result in self.results)
+
+    @property
+    def failing_tests(self) -> tuple[str, ...]:
+        return tuple(result.script.name for result in self.results if not result.passed)
+
+    @property
+    def as_expected(self) -> bool:
+        """Whether detection matches the catalogue's expectation."""
+        return self.detected == self.fault.expected_detected
+
+
+class CampaignResult:
+    """Aggregate of a fault-injection campaign."""
+
+    def __init__(
+        self,
+        baseline: tuple[TestResult, ...],
+        outcomes: Sequence[FaultRunOutcome],
+    ):
+        self.baseline = baseline
+        self.outcomes = tuple(outcomes)
+
+    @property
+    def baseline_clean(self) -> bool:
+        """Whether the healthy ECU passes every test (sanity precondition)."""
+        return all(result.passed for result in self.baseline)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injected faults detected by the suite."""
+        if not self.outcomes:
+            return 1.0
+        return sum(1 for outcome in self.outcomes if outcome.detected) / len(self.outcomes)
+
+    @property
+    def detected(self) -> tuple[str, ...]:
+        return tuple(outcome.fault.name for outcome in self.outcomes if outcome.detected)
+
+    @property
+    def undetected(self) -> tuple[str, ...]:
+        return tuple(outcome.fault.name for outcome in self.outcomes if not outcome.detected)
+
+    def table(self) -> str:
+        """Text table: one row per fault model."""
+        header = ("fault", "detected", "expected", "failing tests", "description")
+        rows = []
+        for outcome in self.outcomes:
+            rows.append((
+                outcome.fault.name,
+                "yes" if outcome.detected else "NO",
+                "yes" if outcome.fault.expected_detected else "no",
+                ", ".join(outcome.failing_tests) or "-",
+                outcome.fault.description,
+            ))
+        return format_table(header, rows)
+
+    def summary(self) -> str:
+        return (
+            f"fault campaign: {len(self.outcomes)} faults, "
+            f"{len(self.detected)} detected ({self.detection_rate:.0%}), "
+            f"baseline {'clean' if self.baseline_clean else 'NOT clean'}"
+        )
+
+
+class FaultCampaign:
+    """Runs a set of scripts against a healthy ECU and a fault catalogue."""
+
+    def __init__(
+        self,
+        scripts: Sequence[TestScript],
+        signals: SignalSet,
+        stand_factory: StandFactory,
+        harness_factory: HarnessFactory,
+        healthy_factory: Callable[[], EcuModel],
+        *,
+        policy: str = "first_fit",
+    ):
+        self.scripts = tuple(scripts)
+        self.signals = signals
+        self.stand_factory = stand_factory
+        self.harness_factory = harness_factory
+        self.healthy_factory = healthy_factory
+        self.policy = policy
+
+    def _run_all(self, ecu_factory: Callable[[], EcuModel]) -> tuple[TestResult, ...]:
+        results = []
+        for script in self.scripts:
+            # A fresh ECU, harness, stand and interpreter per script keeps
+            # runs independent, like re-cabling the bench between tests.
+            ecu = ecu_factory()
+            harness = self.harness_factory(ecu)
+            stand = self.stand_factory()
+            interpreter = TestStandInterpreter(
+                stand, harness, self.signals, policy=self.policy
+            )
+            results.append(interpreter.run(script))
+        return tuple(results)
+
+    def run(self, faults: FaultCatalogue | Iterable[FaultModel]) -> CampaignResult:
+        """Execute the campaign and return its aggregated result."""
+        baseline = self._run_all(self.healthy_factory)
+        outcomes = [
+            FaultRunOutcome(fault, self._run_all(fault.build))
+            for fault in faults
+        ]
+        return CampaignResult(baseline, outcomes)

@@ -1,0 +1,224 @@
+"""Fault injection: seeded defects in the behavioural ECU models.
+
+The paper motivates its method with "bugs, that have occurred in the past"
+whose knowledge should be preserved in reusable test cases.  To evaluate how
+well the paper's test sheet (and extended suites) actually detect such bugs,
+this module provides *fault models*: factory-built variants of the ECU
+models whose behaviour deviates in a specific, realistic way (a dead timer,
+an inverted sensor polarity, an ignored door contact...).
+
+A fault is *detected* by a test when at least one step of the test fails on
+the faulty ECU while the same test passes on the healthy one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..core.errors import ReproError
+from ..dut.base import EcuModel
+from ..dut.central_locking import CentralLockingEcu
+from ..dut.interior_light import InteriorLightEcu
+from ..dut.pins import OutputDrive
+
+__all__ = ["FaultModel", "FaultCatalogue", "interior_light_faults", "central_locking_faults"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One seeded defect: a name, a description and an ECU factory."""
+
+    name: str
+    description: str
+    factory: Callable[[], EcuModel]
+    expected_detected: bool = True
+
+    def build(self) -> EcuModel:
+        """Instantiate the faulty ECU."""
+        ecu = self.factory()
+        if not isinstance(ecu, EcuModel):
+            raise ReproError(f"fault {self.name!r} factory did not return an EcuModel")
+        return ecu
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class FaultCatalogue:
+    """Ordered collection of fault models for one ECU type."""
+
+    def __init__(self, ecu_name: str, faults: Iterable[FaultModel] = ()):
+        self.ecu_name = ecu_name
+        self._faults: dict[str, FaultModel] = {}
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: FaultModel) -> None:
+        if fault.name.lower() in self._faults:
+            raise ReproError(f"duplicate fault model {fault.name!r}")
+        self._faults[fault.name.lower()] = fault
+
+    def get(self, name: str) -> FaultModel:
+        try:
+            return self._faults[str(name).lower()]
+        except KeyError as exc:
+            raise ReproError(f"unknown fault model {name!r}") from exc
+
+    def __iter__(self) -> Iterator[FaultModel]:
+        return iter(self._faults.values())
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(fault.name for fault in self._faults.values())
+
+
+# ---------------------------------------------------------------------------
+# Interior illumination ECU faults
+# ---------------------------------------------------------------------------
+
+class _IntLightLampStuckOff(InteriorLightEcu):
+    """Output driver broken: the lamp can never be switched on."""
+
+    def _apply_outputs(self) -> None:  # noqa: D102 - documented by class docstring
+        self.drive_output("INT_ILL_F", OutputDrive.floating())
+        self.drive_output("INT_ILL_R", OutputDrive.low_side(0.1))
+
+
+class _IntLightLampStuckOn(InteriorLightEcu):
+    """Output driver shorted: the lamp is always on."""
+
+    def _apply_outputs(self) -> None:
+        self.drive_output("INT_ILL_F", OutputDrive.high_side(self.DRIVER_RESISTANCE))
+        self.drive_output("INT_ILL_R", OutputDrive.low_side(0.1))
+
+
+class _IntLightTimerNeverExpires(InteriorLightEcu):
+    """The 300 s switch-off timer never fires (timer service dead)."""
+
+    TIMEOUT_S = math.inf
+
+
+class _IntLightTimerTooShort(InteriorLightEcu):
+    """The switch-off timer expires after 60 s instead of 300 s."""
+
+    TIMEOUT_S = 60.0
+
+
+class _IntLightTimerTooLong(InteriorLightEcu):
+    """The switch-off timer expires only after 600 s (outside the spec)."""
+
+    TIMEOUT_S = 600.0
+
+
+class _IntLightInvertedNight(InteriorLightEcu):
+    """The NIGHT bit is evaluated with inverted polarity."""
+
+    @property
+    def night(self) -> bool:
+        return not super().night
+
+
+class _IntLightIgnoresFrontRightDoor(InteriorLightEcu):
+    """The front-right door contact is not evaluated (harness pin swapped)."""
+
+    DOOR_PINS = ("DS_FL", "DS_RL", "DS_RR")
+
+
+class _IntLightWorksInDaylight(InteriorLightEcu):
+    """The illumination ignores the light sensor and also lights up by day."""
+
+    @property
+    def night(self) -> bool:
+        return True
+
+
+class _IntLightWrongDoorThreshold(InteriorLightEcu):
+    """The door-contact threshold is far too low; real contacts are missed."""
+
+    DOOR_CONTACT_THRESHOLD = 0.05
+
+
+def interior_light_faults() -> FaultCatalogue:
+    """The fault catalogue of the interior illumination ECU (campaign E3)."""
+    return FaultCatalogue(
+        InteriorLightEcu.NAME,
+        (
+            FaultModel("lamp_stuck_off", "output driver broken, lamp never lights",
+                       _IntLightLampStuckOff),
+            FaultModel("lamp_stuck_on", "output driver shorted, lamp always on",
+                       _IntLightLampStuckOn),
+            FaultModel("timer_never_expires", "300 s switch-off timer never fires",
+                       _IntLightTimerNeverExpires),
+            FaultModel("timer_too_short", "switch-off already after 60 s",
+                       _IntLightTimerTooShort),
+            FaultModel("timer_too_long", "switch-off only after 600 s",
+                       _IntLightTimerTooLong),
+            FaultModel("inverted_night", "NIGHT bit evaluated with wrong polarity",
+                       _IntLightInvertedNight),
+            # The paper's own ten-step sheet only exercises DS_FR by day, so
+            # this defect slips through it; the extended suite
+            # (repro.paper.extended) adds the night-time DS_FR test that
+            # catches it - a concrete illustration of the paper's point that
+            # preserved test knowledge must keep growing.
+            FaultModel("ignores_ds_fr", "front-right door contact not evaluated",
+                       _IntLightIgnoresFrontRightDoor, expected_detected=False),
+            FaultModel("daylight_illumination", "illumination also lights up by day",
+                       _IntLightWorksInDaylight),
+            FaultModel("door_threshold_too_low", "door contact threshold far too low",
+                       _IntLightWrongDoorThreshold),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Central locking ECU faults
+# ---------------------------------------------------------------------------
+
+class _LockIgnoresCanCommand(CentralLockingEcu):
+    """CAN lock/unlock requests are ignored (gateway filter misconfigured)."""
+
+    def _evaluate(self) -> None:
+        self._rx_values.pop("lock_command", None)
+        super()._evaluate()
+
+
+class _LockNoAutoLock(CentralLockingEcu):
+    """The speed-dependent auto lock never triggers."""
+
+    AUTO_LOCK_SPEED = math.inf
+
+
+class _LockUnlocksAtSpeed(CentralLockingEcu):
+    """The unlock inhibition above 120 km/h is missing."""
+
+    UNLOCK_INHIBIT_SPEED = math.inf
+
+
+class _LockLedStuckOff(CentralLockingEcu):
+    """The lock LED output is broken."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        self.drive_output("LOCK_LED", OutputDrive.floating())
+
+
+def central_locking_faults() -> FaultCatalogue:
+    """The fault catalogue of the central locking ECU."""
+    return FaultCatalogue(
+        CentralLockingEcu.NAME,
+        (
+            FaultModel("ignores_can_command", "CAN lock/unlock requests ignored",
+                       _LockIgnoresCanCommand),
+            FaultModel("no_auto_lock", "speed-dependent auto lock missing",
+                       _LockNoAutoLock),
+            FaultModel("unlocks_at_speed", "unlock inhibition at speed missing",
+                       _LockUnlocksAtSpeed),
+            FaultModel("led_stuck_off", "lock LED output broken",
+                       _LockLedStuckOff),
+        ),
+    )

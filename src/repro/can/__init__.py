@@ -1,0 +1,19 @@
+"""Virtual CAN substrate: frames, signal coding, message database, bus."""
+
+from .bus import CanBus, CanNode
+from .codec import SignalCoding, pack_field, unpack_field
+from .database import CanDatabase, MessageDefinition
+from .frame import MAX_EXTENDED_ID, MAX_STANDARD_ID, CanFrame
+
+__all__ = [
+    "CanFrame",
+    "MAX_STANDARD_ID",
+    "MAX_EXTENDED_ID",
+    "SignalCoding",
+    "pack_field",
+    "unpack_field",
+    "MessageDefinition",
+    "CanDatabase",
+    "CanBus",
+    "CanNode",
+]

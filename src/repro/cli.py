@@ -1,0 +1,189 @@
+"""Command-line entry points.
+
+Three small tools mirror the paper's workflow:
+
+``repro-compile <workbook dir> <output dir>``
+    read a CSV workbook (signal / status / test sheets) and generate one XML
+    test script per test definition sheet,
+``repro-run <script.xml> [--stand NAME] [--policy NAME]``
+    execute an XML test script on one of the bundled virtual test stands
+    against the matching simulated DUT and print the report,
+``repro-report <script.xml>``
+    print a static summary of a script (signals, methods, duration) without
+    executing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Sequence
+
+from .core.xmlgen import write_script
+from .core.xmlparse import read_script
+from .core.compiler import Compiler
+from .dut.central_locking import CentralLockingEcu
+from .dut.exterior_light import ExteriorLightEcu
+from .dut.harness import LoadSpec, TestHarness
+from .dut.interior_light import InteriorLightEcu
+from .dut.messages import body_can_database
+from .dut.window_lifter import WindowLifterEcu
+from .dut.wiper import WiperEcu
+from .paper.example import build_paper_harness, paper_signal_set
+from .sheets.workbook import load_suite
+from .teststand.interpreter import TestStandInterpreter
+from .teststand.report import summary_line, text_report
+from .teststand.stands import build_big_rack, build_minimal_bench, build_paper_stand
+
+__all__ = ["main_compile", "main_run", "main_report"]
+
+#: Builders for the bundled virtual test stands, selectable with ``--stand``.
+STAND_BUILDERS: dict[str, Callable[[], object]] = {
+    "paper": build_paper_stand,
+    "big_rack": build_big_rack,
+    "minimal": build_minimal_bench,
+}
+
+
+def _dut_registry() -> dict[str, Callable[[], TestHarness]]:
+    """Factories building a ready-wired harness per known DUT name."""
+    def interior() -> TestHarness:
+        return build_paper_harness()
+
+    def locking() -> TestHarness:
+        return TestHarness(CentralLockingEcu(), body_can_database(),
+                           loads=(LoadSpec("LOCK_LED", ohms=500.0),
+                                  LoadSpec("LOCK_ACT", ohms=3.0)))
+
+    def window() -> TestHarness:
+        return TestHarness(WindowLifterEcu(), body_can_database(),
+                           loads=(LoadSpec("WIN_MOTOR_UP", ohms=2.0),
+                                  LoadSpec("WIN_MOTOR_DOWN", ohms=2.0)))
+
+    def wiper() -> TestHarness:
+        return TestHarness(WiperEcu(), body_can_database(),
+                           loads=(LoadSpec("WIPER_MOTOR", ohms=2.0),
+                                  LoadSpec("WASH_PUMP", ohms=4.0),
+                                  LoadSpec("WIPER_FAST", ohms=200.0)))
+
+    def exterior() -> TestHarness:
+        return TestHarness(ExteriorLightEcu(), body_can_database(),
+                           loads=(LoadSpec("LOW_BEAM", ohms=4.0),
+                                  LoadSpec("DRL", ohms=8.0),
+                                  LoadSpec("POSITION_LIGHT", ohms=20.0)))
+
+    return {
+        "interior_light_ecu": interior,
+        "central_locking_ecu": locking,
+        "window_lifter_ecu": window,
+        "wiper_ecu": wiper,
+        "exterior_light_ecu": exterior,
+    }
+
+
+def main_compile(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-compile``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compile",
+        description="Generate XML test scripts from a CSV workbook directory.",
+    )
+    parser.add_argument("workbook", help="directory containing signals.csv, status.csv, test_*.csv")
+    parser.add_argument("output", help="directory to write the generated XML scripts into")
+    args = parser.parse_args(argv)
+
+    suite = load_suite(args.workbook)
+    compiler = Compiler()
+    os.makedirs(args.output, exist_ok=True)
+    written = []
+    for test in suite:
+        script = compiler.compile_test(suite, test)
+        path = os.path.join(args.output, f"{script.name}.xml")
+        write_script(script, path)
+        written.append(path)
+    print(f"compiled {len(written)} test script(s) from {args.workbook!r}:")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+def main_run(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-run``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Execute an XML test script on a bundled virtual test stand.",
+    )
+    parser.add_argument("script", help="path of the XML test script")
+    parser.add_argument("--stand", choices=sorted(STAND_BUILDERS), default="paper",
+                        help="which virtual test stand to use (default: paper)")
+    parser.add_argument("--policy", choices=("first_fit", "best_fit", "least_used"),
+                        default="first_fit", help="resource allocation policy")
+    parser.add_argument("--quiet", action="store_true", help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    script = read_script(args.script)
+    registry = _dut_registry()
+    if script.dut not in registry:
+        print(f"error: unknown DUT {script.dut!r}; known DUTs: {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    harness = registry[script.dut]()
+    stand = STAND_BUILDERS[args.stand]()
+
+    # Signal definitions for the paper DUT are bundled; for the other DUTs a
+    # minimal signal set is derived from the script itself (pins = signal name).
+    if script.dut == "interior_light_ecu":
+        signals = paper_signal_set()
+    else:
+        from .core.signals import Signal, SignalDirection, SignalKind, SignalSet
+
+        db = body_can_database()
+        derived = []
+        for name in script.signals_used():
+            ecu = harness.ecu
+            if ecu.has_pin(name):
+                pin = ecu.pin(name)
+                direction = SignalDirection.OUTPUT if pin.is_output else SignalDirection.INPUT
+                kind = SignalKind.ANALOG if pin.is_output else SignalKind.RESISTIVE
+                derived.append(Signal(name, direction, kind, pins=(name,)))
+            else:
+                try:
+                    message = db.message_for_signal(name).name
+                except Exception:
+                    continue
+                derived.append(Signal(name, SignalDirection.INPUT, SignalKind.BUS,
+                                      message=message))
+        signals = SignalSet(derived, dut=script.dut)
+
+    interpreter = TestStandInterpreter(stand, harness, signals, policy=args.policy)
+    result = interpreter.run(script)
+    if args.quiet:
+        print(summary_line(result))
+    else:
+        print(text_report(result))
+    return 0 if result.passed else 1
+
+
+def main_report(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-report``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Summarise an XML test script without executing it.",
+    )
+    parser.add_argument("script", help="path of the XML test script")
+    args = parser.parse_args(argv)
+
+    script = read_script(args.script)
+    print(f"script    : {script.name}")
+    print(f"DUT       : {script.dut}")
+    print(f"steps     : {len(script.steps)}")
+    print(f"actions   : {script.action_count()}")
+    print(f"duration  : {script.total_duration:g} s (simulated)")
+    print(f"signals   : {', '.join(script.signals_used())}")
+    print(f"methods   : {', '.join(script.methods_used())}")
+    print(f"variables : {', '.join(script.variables) or '-'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_run())

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the component-testing toolchain.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch toolchain problems without swallowing unrelated Python
+errors.  The hierarchy mirrors the tool-chain stages described in the paper:
+
+* definition-time problems (sheets, statuses, signals)  -> ``DefinitionError``
+* compile-time problems (sheet -> XML generation)       -> ``CompileError``
+* execution-time problems (interpreter on a test stand) -> ``ExecutionError``
+* allocation problems ("no appropriate resource")       -> ``AllocationError``
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DefinitionError(ReproError):
+    """A test-definition artefact (sheet, status, signal) is inconsistent."""
+
+
+class SheetError(DefinitionError):
+    """A worksheet could not be parsed into its semantic model."""
+
+    def __init__(self, message: str, sheet: str | None = None, row: int | None = None):
+        location = ""
+        if sheet is not None:
+            location = f" [sheet={sheet!r}" + (f", row={row}" if row is not None else "") + "]"
+        super().__init__(message + location)
+        self.sheet = sheet
+        self.row = row
+
+
+class StatusError(DefinitionError):
+    """A status definition is missing or malformed."""
+
+
+class SignalError(DefinitionError):
+    """A signal definition is missing or malformed."""
+
+
+class ValueError_(DefinitionError):
+    """A physical value or expression could not be parsed."""
+
+
+class ExpressionError(ValueError_):
+    """A limit expression (e.g. ``(0.7*ubatt)``) is malformed or unresolvable."""
+
+
+class CompileError(ReproError):
+    """Sheets could not be compiled into a test script."""
+
+    def __init__(self, message: str, step: int | None = None, signal: str | None = None):
+        location = ""
+        if step is not None or signal is not None:
+            parts = []
+            if step is not None:
+                parts.append(f"step={step}")
+            if signal is not None:
+                parts.append(f"signal={signal!r}")
+            location = " [" + ", ".join(parts) + "]"
+        super().__init__(message + location)
+        self.step = step
+        self.signal = signal
+
+
+class ScriptError(ReproError):
+    """An XML test script is malformed or semantically invalid."""
+
+
+class ExecutionError(ReproError):
+    """The interpreter could not execute a script step."""
+
+
+class AllocationError(ExecutionError):
+    """No appropriate resource/route could be found for a method call.
+
+    This is the error message generation the paper describes: *"For each
+    method to be carried out, the test stand searches an appropriate
+    resource, that can be connected to the signal pin.  If this is not
+    possible an error message is generated."*
+    """
+
+    def __init__(self, message: str, signal: str | None = None, method: str | None = None):
+        location = ""
+        if signal is not None or method is not None:
+            parts = []
+            if signal is not None:
+                parts.append(f"signal={signal!r}")
+            if method is not None:
+                parts.append(f"method={method!r}")
+            location = " [" + ", ".join(parts) + "]"
+        super().__init__(message + location)
+        self.signal = signal
+        self.method = method
+
+
+class CapabilityError(AllocationError):
+    """A resource exists but the requested parameter is outside its range."""
+
+
+class RoutingError(AllocationError):
+    """A resource exists but cannot be routed to the signal's pins."""
+
+
+class InstrumentError(ExecutionError):
+    """A virtual instrument was driven outside its operating envelope."""
+
+
+class HarnessError(ExecutionError):
+    """The DUT harness wiring is inconsistent (unknown pin, double drive...)."""
+
+
+class MethodError(ReproError):
+    """A method name is unknown or its parameters do not match its schema."""
+
+
+class ReportError(ReproError):
+    """A test report could not be produced or serialised."""

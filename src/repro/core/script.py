@@ -1,0 +1,260 @@
+"""Intermediate representation of a compiled test script.
+
+The XML file the paper generates ("test script") is a flat, stand-neutral
+sequence of steps; each step carries *signal statements*, each followed by a
+*method statement* with fully resolved parameters.  This module models that
+structure in memory:
+
+``MethodCall``   one method statement (name + textual parameters)
+``SignalAction`` one signal statement (signal name + its method call)
+``ScriptStep``   one step (number, Δt, ordered signal actions)
+``TestScript``   the whole script (setup actions + steps + metadata)
+
+Parameters stay *textual* in the IR: limits such as ``(0.7*ubatt)`` must not
+be evaluated before the script reaches a concrete test stand, because only
+the stand knows its supply voltage.  This mirrors the paper's split between
+test definition and test execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
+
+from .errors import ScriptError
+from .values import LimitExpression, format_number
+
+__all__ = ["MethodCall", "SignalAction", "ScriptStep", "TestScript"]
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """One method statement: a method name plus textual parameters."""
+
+    method: str
+    params: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not str(self.method).strip():
+            raise ScriptError("method call without a method name")
+        frozen = MappingProxyType({str(k): str(v) for k, v in dict(self.params).items()})
+        object.__setattr__(self, "params", frozen)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive parameter lookup."""
+        wanted = str(name).lower()
+        for key, value in self.params.items():
+            if key.lower() == wanted:
+                return value
+        return default
+
+    def variables(self) -> frozenset[str]:
+        """All variables referenced by any expression-valued parameter."""
+        names: set[str] = set()
+        for value in self.params.values():
+            try:
+                names |= LimitExpression(value).variables
+            except Exception:
+                continue
+        return frozenset(names)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MethodCall):
+            return (
+                self.method.lower() == other.method.lower()
+                and dict(self.params) == dict(other.params)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.method.lower(), tuple(sorted(self.params.items()))))
+
+    def __str__(self) -> str:
+        rendered = " ".join(f'{k}="{v}"' for k, v in self.params.items())
+        return f"{self.method} {rendered}".strip()
+
+
+@dataclass(frozen=True)
+class SignalAction:
+    """One signal statement: a signal name and the method call applied to it."""
+
+    signal: str
+    call: MethodCall
+
+    def __post_init__(self) -> None:
+        if not str(self.signal).strip():
+            raise ScriptError("signal action without a signal name")
+
+    @property
+    def method(self) -> str:
+        """Shortcut to the method name."""
+        return self.call.method
+
+    def __str__(self) -> str:
+        return f"{self.signal}: {self.call}"
+
+
+@dataclass(frozen=True)
+class ScriptStep:
+    """One script step: number, duration and its ordered signal actions."""
+
+    number: int
+    duration: float
+    actions: tuple[SignalAction, ...] = ()
+    remark: str = ""
+    requirement: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise ScriptError(f"step number must be >= 0, got {self.number}")
+        duration = float(self.duration)
+        if duration < 0:
+            raise ScriptError(f"step duration must be >= 0, got {duration}")
+        object.__setattr__(self, "duration", duration)
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def actions_for(self, signal: str) -> tuple[SignalAction, ...]:
+        """All actions addressing *signal* (case-insensitive)."""
+        wanted = str(signal).lower()
+        return tuple(a for a in self.actions if a.signal.lower() == wanted)
+
+    def methods_used(self) -> tuple[str, ...]:
+        """Method names used by this step, in action order."""
+        seen: dict[str, None] = {}
+        for action in self.actions:
+            seen.setdefault(action.method.lower(), None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return (
+            f"step {self.number} (dt={format_number(self.duration)}s, "
+            f"{len(self.actions)} actions)"
+        )
+
+
+class TestScript:
+    """A complete, test-stand-independent test script.
+
+    Attributes
+    ----------
+    name:
+        Script name (normally the test definition sheet's name).
+    dut:
+        Name of the device under test.
+    setup:
+        Signal actions establishing the initial statuses from the signal
+        definition sheet, performed before step 0.
+    steps:
+        The ordered script steps.
+    variables:
+        Names of stand-supplied variables (e.g. ``ubatt``) the script's
+        expressions reference.
+    metadata:
+        Free-form string metadata recorded in the XML header.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dut: str,
+        steps: Iterable[ScriptStep] = (),
+        *,
+        setup: Iterable[SignalAction] = (),
+        variables: Iterable[str] = (),
+        metadata: Mapping[str, str] | None = None,
+        description: str = "",
+    ):
+        if not str(name).strip():
+            raise ScriptError("test script needs a name")
+        if not str(dut).strip():
+            raise ScriptError("test script needs a DUT name")
+        self.name = str(name).strip()
+        self.dut = str(dut).strip()
+        self.description = description
+        self.setup: tuple[SignalAction, ...] = tuple(setup)
+        self._steps: list[ScriptStep] = []
+        for step in steps:
+            self.append(step)
+        declared = {str(v).lower() for v in variables}
+        self._variables = tuple(sorted(declared | self._referenced_variables()))
+        self.metadata: dict[str, str] = dict(metadata or {})
+
+    def append(self, step: ScriptStep) -> None:
+        """Append a step; numbers must be strictly increasing."""
+        if self._steps and step.number <= self._steps[-1].number:
+            raise ScriptError(
+                f"step numbers must increase: {step.number} after {self._steps[-1].number}"
+            )
+        self._steps.append(step)
+
+    def _referenced_variables(self) -> set[str]:
+        names: set[str] = set()
+        for action in self.setup:
+            names |= action.call.variables()
+        for step in self._steps:
+            for action in step.actions:
+                names |= action.call.variables()
+        return names
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def steps(self) -> tuple[ScriptStep, ...]:
+        return tuple(self._steps)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Stand-supplied variables referenced by the script."""
+        return self._variables
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of all step durations in seconds."""
+        return sum(step.duration for step in self._steps)
+
+    def signals_used(self) -> tuple[str, ...]:
+        """All signal names referenced (setup + steps), in first-use order."""
+        seen: dict[str, None] = {}
+        for action in self.setup:
+            seen.setdefault(action.signal, None)
+        for step in self._steps:
+            for action in step.actions:
+                seen.setdefault(action.signal, None)
+        return tuple(seen)
+
+    def methods_used(self) -> tuple[str, ...]:
+        """All method names referenced, in first-use order."""
+        seen: dict[str, None] = {}
+        for action in self.setup:
+            seen.setdefault(action.method.lower(), None)
+        for step in self._steps:
+            for action in step.actions:
+                seen.setdefault(action.method.lower(), None)
+        return tuple(seen)
+
+    def action_count(self) -> int:
+        """Total number of signal actions (setup + steps)."""
+        return len(self.setup) + sum(len(step.actions) for step in self._steps)
+
+    def __iter__(self) -> Iterator[ScriptStep]:
+        return iter(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TestScript):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dut == other.dut
+            and self.setup == other.setup
+            and self.steps == other.steps
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TestScript(name={self.name!r}, dut={self.dut!r}, "
+            f"steps={len(self._steps)}, actions={self.action_count()})"
+        )

@@ -1,0 +1,32 @@
+"""Device-under-test substrate: behavioural ECU models, wiring and simulation."""
+
+from .base import EcuModel
+from .central_locking import CentralLockingEcu
+from .events import Event, EventScheduler
+from .exterior_light import ExteriorLightEcu
+from .harness import LoadSpec, TestHarness
+from .interior_light import InteriorLightEcu
+from .messages import body_can_database
+from .network import GROUND, Network
+from .pins import OutputDrive, Pin, PinKind
+from .window_lifter import WindowLifterEcu
+from .wiper import WiperEcu
+
+__all__ = [
+    "EcuModel",
+    "Event",
+    "EventScheduler",
+    "Pin",
+    "PinKind",
+    "OutputDrive",
+    "Network",
+    "GROUND",
+    "TestHarness",
+    "LoadSpec",
+    "body_can_database",
+    "InteriorLightEcu",
+    "CentralLockingEcu",
+    "WindowLifterEcu",
+    "WiperEcu",
+    "ExteriorLightEcu",
+]

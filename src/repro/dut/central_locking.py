@@ -1,0 +1,145 @@
+"""Central locking ECU.
+
+A second body controller used by the reuse and fault-injection experiments.
+Behaviour:
+
+* Lock / unlock requests arrive over CAN (``LOCK_COMMAND.LOCK_REQ``) or from
+  the driver-door key switch (resistive input ``KEY_SW``: contact closed =
+  key turned to "lock").
+* Above an auto-lock speed threshold (15 km/h from ``VEHICLE_SPEED.SPEED``)
+  the vehicle locks itself once per driving cycle.
+* Unlocking is refused while the vehicle is moving faster than a safety
+  threshold (120 km/h) - an intentionally non-obvious requirement so the
+  fault-injection campaign has something subtle to break.
+* The lock state is reported on CAN (``LOCK_STATUS.LOCKED``) and mirrored on
+  the ``LOCK_LED`` output so a test stand without a CAN receiver can still
+  check it with a DVM.
+"""
+
+from __future__ import annotations
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["CentralLockingEcu"]
+
+
+class CentralLockingEcu(EcuModel):
+    """Behavioural model of a central locking control unit."""
+
+    NAME = "central_locking_ecu"
+    PINS = (
+        Pin("KEY_SW", PinKind.RESISTIVE_INPUT, "driver door key switch (lock position)"),
+        Pin("UNLOCK_SW", PinKind.RESISTIVE_INPUT, "driver door key switch (unlock position)"),
+        Pin("LOCK_LED", PinKind.SIGNAL_OUTPUT, "lock indicator LED"),
+        Pin("LOCK_ACT", PinKind.POWER_OUTPUT, "lock actuator supply"),
+    )
+    RX_MESSAGES = ("LOCK_COMMAND", "VEHICLE_SPEED", "IGN_STATUS")
+    TX_MESSAGES = ("LOCK_STATUS",)
+
+    #: Key-switch contact threshold [Ohm].
+    CONTACT_THRESHOLD = 100.0
+    #: Vehicle locks itself above this speed [km/h].
+    AUTO_LOCK_SPEED = 15.0
+    #: Unlock requests are ignored above this speed [km/h].
+    UNLOCK_INHIBIT_SPEED = 120.0
+    #: Actuator drive pulse duration [s].
+    ACTUATOR_PULSE_S = 0.3
+
+    def __init__(self) -> None:
+        self._locked = False
+        self._auto_locked_this_cycle = False
+        self._last_lock_req = 0
+        self._key_lock_was_closed = False
+        self._key_unlock_was_closed = False
+        self._actuator_off_event = None
+        super().__init__()
+
+    def _reset_state(self) -> None:
+        self._locked = False
+        self._auto_locked_this_cycle = False
+        self._last_lock_req = 0
+        self._key_lock_was_closed = False
+        self._key_unlock_was_closed = False
+        self._actuator_off_event = None
+
+    # -- observable state ---------------------------------------------------------
+
+    @property
+    def locked(self) -> bool:
+        """Current lock state."""
+        return self._locked
+
+    @property
+    def speed(self) -> float:
+        """Last received vehicle speed in km/h."""
+        return self.rx_signal("VEHICLE_SPEED", "SPEED", 0.0)
+
+    @property
+    def ignition(self) -> int:
+        return int(self.rx_signal("IGN_STATUS", "IGN_ST", 0.0))
+
+    # -- behaviour ------------------------------------------------------------------
+
+    def _set_locked(self, locked: bool) -> None:
+        if locked == self._locked:
+            return
+        self._locked = locked
+        self.transmit("LOCK_STATUS", {"LOCKED": 1.0 if locked else 0.0})
+        # Pulse the actuator output for a short time.
+        self.drive_output("LOCK_ACT", OutputDrive.high_side(0.3))
+        if self._actuator_off_event is not None:
+            self._actuator_off_event.cancel()
+        self._actuator_off_event = self.scheduler.schedule_in(
+            self.ACTUATOR_PULSE_S, self._actuator_off, name="lock_actuator_off"
+        )
+
+    def _actuator_off(self) -> None:
+        self.drive_output("LOCK_ACT", OutputDrive.floating())
+        self._actuator_off_event = None
+
+    def _evaluate(self) -> None:
+        ignition_on = self.ignition >= 2
+        speed = self.speed
+
+        # Ignition off re-arms the once-per-cycle auto lock.
+        if not ignition_on:
+            self._auto_locked_this_cycle = False
+
+        # Edge-detect the CAN lock request so a held value does not re-trigger.
+        lock_req = int(self.rx_signal("LOCK_COMMAND", "LOCK_REQ", 0.0))
+        if lock_req != self._last_lock_req:
+            self._last_lock_req = lock_req
+            if lock_req == 1:
+                self._set_locked(True)
+            elif lock_req == 2 and speed <= self.UNLOCK_INHIBIT_SPEED:
+                self._set_locked(False)
+
+        # Edge-detect the key switch contacts.
+        key_lock = self.contact_closed("KEY_SW", self.CONTACT_THRESHOLD)
+        if key_lock and not self._key_lock_was_closed:
+            self._set_locked(True)
+        self._key_lock_was_closed = key_lock
+
+        key_unlock = self.contact_closed("UNLOCK_SW", self.CONTACT_THRESHOLD)
+        if key_unlock and not self._key_unlock_was_closed:
+            if speed <= self.UNLOCK_INHIBIT_SPEED:
+                self._set_locked(False)
+        self._key_unlock_was_closed = key_unlock
+
+        # Auto lock above threshold, once per driving cycle.
+        if ignition_on and speed >= self.AUTO_LOCK_SPEED and not self._auto_locked_this_cycle:
+            self._auto_locked_this_cycle = True
+            self._set_locked(True)
+
+        # The LED mirrors the lock state continuously.
+        if self._locked:
+            self.drive_output("LOCK_LED", OutputDrive.high_side(1.0))
+        else:
+            self.drive_output("LOCK_LED", OutputDrive.floating())
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()
+
+    def _time_advanced(self) -> None:
+        self._evaluate()

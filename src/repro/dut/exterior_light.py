@@ -1,0 +1,96 @@
+"""Exterior lighting ECU.
+
+Behaviour:
+
+* The light switch position arrives over CAN (``LIGHT_SWITCH.LIGHT_SW``):
+  0 = off, 1 = automatic, 2 = on.
+* Low beam is driven when the switch is "on", or when it is "automatic" and
+  the light sensor reports darkness (``LIGHT_SENSOR.NIGHT``); ignition must
+  be in "run".
+* Daytime running lights (DRL) are driven whenever the ignition is in "run"
+  and the low beam is off.
+* Position (parking) lights follow the low beam and additionally can be
+  requested with ignition off via the resistive ``PARK_SW`` input.
+"""
+
+from __future__ import annotations
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["ExteriorLightEcu"]
+
+
+class ExteriorLightEcu(EcuModel):
+    """Behavioural model of an exterior lighting control unit."""
+
+    NAME = "exterior_light_ecu"
+    PINS = (
+        Pin("PARK_SW", PinKind.RESISTIVE_INPUT, "parking light request switch"),
+        Pin("LOW_BEAM", PinKind.POWER_OUTPUT, "low beam supply"),
+        Pin("DRL", PinKind.POWER_OUTPUT, "daytime running light supply"),
+        Pin("POSITION_LIGHT", PinKind.POWER_OUTPUT, "position light supply"),
+    )
+    RX_MESSAGES = ("LIGHT_SWITCH", "LIGHT_SENSOR", "IGN_STATUS")
+    TX_MESSAGES = ()
+
+    CONTACT_THRESHOLD = 100.0
+
+    def __init__(self) -> None:
+        self._low_beam = False
+        self._drl = False
+        self._position = False
+        super().__init__()
+
+    def _reset_state(self) -> None:
+        self._low_beam = False
+        self._drl = False
+        self._position = False
+
+    # -- observable state -----------------------------------------------------------
+
+    @property
+    def low_beam_on(self) -> bool:
+        return self._low_beam
+
+    @property
+    def drl_on(self) -> bool:
+        return self._drl
+
+    @property
+    def ignition(self) -> int:
+        return int(self.rx_signal("IGN_STATUS", "IGN_ST", 0.0))
+
+    @property
+    def night(self) -> bool:
+        return self.rx_signal("LIGHT_SENSOR", "NIGHT", 0.0) >= 0.5
+
+    # -- behaviour --------------------------------------------------------------------
+
+    def _evaluate(self) -> None:
+        ignition_run = self.ignition >= 2
+        switch = int(self.rx_signal("LIGHT_SWITCH", "LIGHT_SW", 0.0))
+        park_requested = self.contact_closed("PARK_SW", self.CONTACT_THRESHOLD)
+
+        self._low_beam = ignition_run and (switch == 2 or (switch == 1 and self.night))
+        self._drl = ignition_run and not self._low_beam
+        self._position = self._low_beam or park_requested
+
+        self.drive_output(
+            "LOW_BEAM",
+            OutputDrive.high_side(0.2) if self._low_beam else OutputDrive.floating(),
+        )
+        self.drive_output(
+            "DRL",
+            OutputDrive.high_side(0.2) if self._drl else OutputDrive.floating(),
+        )
+        self.drive_output(
+            "POSITION_LIGHT",
+            OutputDrive.high_side(0.5) if self._position else OutputDrive.floating(),
+        )
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()
+
+    def _time_advanced(self) -> None:
+        self._evaluate()

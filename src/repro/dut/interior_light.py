@@ -1,0 +1,117 @@
+"""Interior illumination ECU - the paper's running example.
+
+Specified behaviour (derived from the paper's test definition sheet):
+
+* The interior illumination ``INT_ILL`` is a function of the ignition
+  status ``IGN_ST``, the door switches ``DS_FL`` / ``DS_FR`` (and the rear
+  doors ``DS_RL`` / ``DS_RR`` present in the wiring figure) and the bit
+  ``NIGHT`` from the light sensor.
+* If ``NIGHT`` is active, the interior illumination is lit while one of the
+  doors is open ("Open" status of the door switch), for a maximum duration
+  of 300 s.
+* During daylight (``NIGHT`` = 0) the illumination stays off.
+* Closing all doors switches the illumination off immediately and re-arms
+  the 300 s timer.
+
+The door switches are sensed resistively: a closed contact (door open) pulls
+the pin towards ground, an open contact (door closed) leaves it floating.
+The lamp output is a high-side driver on ``INT_ILL_F`` with its return path
+``INT_ILL_R`` switched to ground.
+"""
+
+from __future__ import annotations
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["InteriorLightEcu"]
+
+
+class InteriorLightEcu(EcuModel):
+    """Behavioural model of the paper's interior illumination ECU."""
+
+    NAME = "interior_light_ecu"
+    PINS = (
+        Pin("DS_FL", PinKind.RESISTIVE_INPUT, "door switch front left"),
+        Pin("DS_FR", PinKind.RESISTIVE_INPUT, "door switch front right"),
+        Pin("DS_RL", PinKind.RESISTIVE_INPUT, "door switch rear left"),
+        Pin("DS_RR", PinKind.RESISTIVE_INPUT, "door switch rear right"),
+        Pin("INT_ILL_F", PinKind.POWER_OUTPUT, "interior lamp feed (high side)"),
+        Pin("INT_ILL_R", PinKind.RETURN_OUTPUT, "interior lamp return (low side)"),
+    )
+    RX_MESSAGES = ("IGN_STATUS", "LIGHT_SENSOR")
+    TX_MESSAGES = ()
+
+    #: Door contact is considered closed (door open) below this resistance [Ohm].
+    DOOR_CONTACT_THRESHOLD = 100.0
+    #: Automatic switch-off after this many seconds of continuous illumination.
+    TIMEOUT_S = 300.0
+    #: High-side driver on-resistance [Ohm].
+    DRIVER_RESISTANCE = 0.2
+
+    DOOR_PINS = ("DS_FL", "DS_FR", "DS_RL", "DS_RR")
+
+    def __init__(self) -> None:
+        self._illumination_on = False
+        self._on_since: float | None = None
+        super().__init__()
+
+    # -- state ------------------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self._illumination_on = False
+        self._on_since = None
+
+    # -- behaviour ----------------------------------------------------------------
+
+    @property
+    def any_door_open(self) -> bool:
+        """True when any door contact reports "door open"."""
+        return any(
+            self.contact_closed(pin, self.DOOR_CONTACT_THRESHOLD)
+            for pin in self.DOOR_PINS
+        )
+
+    @property
+    def night(self) -> bool:
+        """Last received light sensor state."""
+        return self.rx_signal("LIGHT_SENSOR", "NIGHT", 0.0) >= 0.5
+
+    @property
+    def ignition(self) -> int:
+        """Last received ignition (terminal) status."""
+        return int(self.rx_signal("IGN_STATUS", "IGN_ST", 0.0))
+
+    @property
+    def illumination_on(self) -> bool:
+        """Whether the lamp driver is currently switched on."""
+        return self._illumination_on
+
+    def _evaluate(self) -> None:
+        door_open = self.any_door_open
+        if door_open and self.night:
+            if self._on_since is None:
+                self._on_since = self.now
+            timed_out = (self.now - self._on_since) >= self.TIMEOUT_S
+            self._illumination_on = not timed_out
+        else:
+            # Closing the doors (or daylight) switches the lamp off and
+            # re-arms the 300 s timer.
+            self._on_since = None
+            self._illumination_on = False
+        self._apply_outputs()
+
+    def _apply_outputs(self) -> None:
+        if self._illumination_on:
+            self.drive_output("INT_ILL_F", OutputDrive.high_side(self.DRIVER_RESISTANCE))
+        else:
+            self.drive_output("INT_ILL_F", OutputDrive.floating())
+        # The return path is always switched to ground so the lamp circuit is
+        # completed through the ECU.
+        self.drive_output("INT_ILL_R", OutputDrive.low_side(0.1))
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()
+
+    def _time_advanced(self) -> None:
+        self._evaluate()

@@ -1,0 +1,112 @@
+"""DUT pin model.
+
+A pin is the physical attachment point between the device under test and the
+test-stand wiring.  Pins are grouped by their electrical role; the role
+determines which stimuli make sense (a resistive input is driven by a
+resistor decade, a power output is measured by a DVM) and how the harness
+translates between the test stand and the behavioural ECU model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import HarnessError
+
+__all__ = ["PinKind", "Pin", "OutputDrive"]
+
+
+class PinKind(enum.Enum):
+    """Electrical role of a DUT pin."""
+
+    SUPPLY = "supply"                    #: battery supply input (KL30/KL15)
+    GROUND = "ground"                    #: ground connection (KL31)
+    RESISTIVE_INPUT = "resistive_input"  #: contact sensed through its resistance
+    ANALOG_INPUT = "analog_input"        #: voltage-sensing input
+    DIGITAL_INPUT = "digital_input"      #: logic-level input
+    POWER_OUTPUT = "power_output"        #: high-side driver output (lamps, motors)
+    RETURN_OUTPUT = "return_output"      #: low-side return path of a load
+    SIGNAL_OUTPUT = "signal_output"      #: low-current status output (LED, logic)
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One named DUT pin."""
+
+    name: str
+    kind: PinKind
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise HarnessError("pin needs a name")
+
+    @property
+    def key(self) -> str:
+        """Canonical lower-case lookup key."""
+        return self.name.lower()
+
+    @property
+    def is_input(self) -> bool:
+        """True when the test stand stimulates this pin."""
+        return self.kind in (
+            PinKind.RESISTIVE_INPUT,
+            PinKind.ANALOG_INPUT,
+            PinKind.DIGITAL_INPUT,
+            PinKind.SUPPLY,
+        )
+
+    @property
+    def is_output(self) -> bool:
+        """True when the DUT drives this pin."""
+        return self.kind in (
+            PinKind.POWER_OUTPUT,
+            PinKind.RETURN_OUTPUT,
+            PinKind.SIGNAL_OUTPUT,
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class OutputDrive:
+    """How the ECU currently drives one of its output pins.
+
+    Attributes
+    ----------
+    level:
+        Driven level as a fraction of the supply voltage (1.0 = high-side
+        switch closed to battery, 0.0 = pulled to ground).
+    resistance:
+        Source resistance of the driver stage in ohms.
+    driven:
+        ``False`` means the driver is off / high-impedance; *level* and
+        *resistance* are then ignored by the harness.
+    """
+
+    level: float = 0.0
+    resistance: float = 0.1
+    driven: bool = True
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise HarnessError("driver resistance must be positive")
+        if not -0.5 <= self.level <= 1.5:
+            raise HarnessError(f"drive level {self.level} outside plausible range")
+
+    @classmethod
+    def high_side(cls, resistance: float = 0.2) -> "OutputDrive":
+        """Driver closed to the battery rail."""
+        return cls(level=1.0, resistance=resistance, driven=True)
+
+    @classmethod
+    def low_side(cls, resistance: float = 0.1) -> "OutputDrive":
+        """Driver closed to ground."""
+        return cls(level=0.0, resistance=resistance, driven=True)
+
+    @classmethod
+    def floating(cls) -> "OutputDrive":
+        """Driver off (high impedance)."""
+        return cls(level=0.0, resistance=1.0, driven=False)

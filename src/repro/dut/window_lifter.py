@@ -1,0 +1,124 @@
+"""Window lifter ECU.
+
+Behaviour:
+
+* Two resistive switch inputs (``WIN_SW_UP`` / ``WIN_SW_DOWN``): contact
+  closed = switch pressed.
+* The window moves only while the ignition is in "run" (``IGN_ST`` >= 2);
+  this is the classic comfort-function interlock.
+* The motor output ``WIN_MOTOR_UP`` is driven while moving up,
+  ``WIN_MOTOR_DOWN`` while moving down; both are off when idle.
+* The position is integrated over simulated time at :data:`TRAVEL_RATE`
+  percent per second and clamped at the end stops (0 % = closed,
+  100 % = fully open); reaching an end stop stops the motor.
+* Pressing both switches at once is treated as "no request" (a plausibility
+  rule that the fault-injection campaign can disable).
+* The position is broadcast on CAN (``WINDOW_POSITION.WIN_POS``).
+"""
+
+from __future__ import annotations
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["WindowLifterEcu"]
+
+
+class WindowLifterEcu(EcuModel):
+    """Behavioural model of a door window lifter control unit."""
+
+    NAME = "window_lifter_ecu"
+    PINS = (
+        Pin("WIN_SW_UP", PinKind.RESISTIVE_INPUT, "window switch, up direction"),
+        Pin("WIN_SW_DOWN", PinKind.RESISTIVE_INPUT, "window switch, down direction"),
+        Pin("WIN_MOTOR_UP", PinKind.POWER_OUTPUT, "motor drive, closing direction"),
+        Pin("WIN_MOTOR_DOWN", PinKind.POWER_OUTPUT, "motor drive, opening direction"),
+    )
+    RX_MESSAGES = ("IGN_STATUS",)
+    TX_MESSAGES = ("WINDOW_POSITION",)
+
+    CONTACT_THRESHOLD = 100.0
+    #: Window travel rate in percent of full stroke per second.
+    TRAVEL_RATE = 10.0
+
+    def __init__(self) -> None:
+        self._position = 0.0          # 0 % = closed, 100 % = fully open
+        self._direction = 0           # -1 closing, +1 opening, 0 idle
+        self._last_update = 0.0
+        self._last_reported = -1.0
+        super().__init__()
+
+    def _reset_state(self) -> None:
+        self._position = 0.0
+        self._direction = 0
+        self._last_update = self.scheduler.now if hasattr(self, "scheduler") else 0.0
+        self._last_reported = -1.0
+
+    # -- observable state -----------------------------------------------------------
+
+    @property
+    def position(self) -> float:
+        """Window opening in percent (0 = closed, 100 = fully open)."""
+        return self._position
+
+    @property
+    def moving(self) -> bool:
+        return self._direction != 0
+
+    @property
+    def ignition_on(self) -> bool:
+        return self.rx_signal("IGN_STATUS", "IGN_ST", 0.0) >= 2
+
+    # -- behaviour --------------------------------------------------------------------
+
+    def _integrate_position(self) -> None:
+        elapsed = self.now - self._last_update
+        self._last_update = self.now
+        if elapsed <= 0 or self._direction == 0:
+            return
+        delta = self.TRAVEL_RATE * elapsed * self._direction
+        self._position = min(100.0, max(0.0, self._position + delta))
+
+    def _evaluate(self) -> None:
+        # First account for the motion that happened since the last call.
+        self._integrate_position()
+
+        up_pressed = self.contact_closed("WIN_SW_UP", self.CONTACT_THRESHOLD)
+        down_pressed = self.contact_closed("WIN_SW_DOWN", self.CONTACT_THRESHOLD)
+
+        if not self.ignition_on or (up_pressed and down_pressed):
+            self._direction = 0
+        elif up_pressed and self._position > 0.0:
+            self._direction = -1
+        elif down_pressed and self._position < 100.0:
+            self._direction = +1
+        else:
+            self._direction = 0
+
+        # End stops cut the motor even while the switch is held.
+        if self._direction == -1 and self._position <= 0.0:
+            self._direction = 0
+        if self._direction == +1 and self._position >= 100.0:
+            self._direction = 0
+
+        if self._direction == -1:
+            self.drive_output("WIN_MOTOR_UP", OutputDrive.high_side(0.3))
+            self.drive_output("WIN_MOTOR_DOWN", OutputDrive.floating())
+        elif self._direction == +1:
+            self.drive_output("WIN_MOTOR_UP", OutputDrive.floating())
+            self.drive_output("WIN_MOTOR_DOWN", OutputDrive.high_side(0.3))
+        else:
+            self.drive_output("WIN_MOTOR_UP", OutputDrive.floating())
+            self.drive_output("WIN_MOTOR_DOWN", OutputDrive.floating())
+
+        # Broadcast position changes (rounded to whole percent).
+        reported = round(self._position)
+        if reported != self._last_reported:
+            self._last_reported = reported
+            self.transmit("WINDOW_POSITION", {"WIN_POS": float(reported)})
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()
+
+    def _time_advanced(self) -> None:
+        self._evaluate()

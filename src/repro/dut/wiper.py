@@ -1,0 +1,152 @@
+"""Wiper control ECU.
+
+Behaviour:
+
+* The stalk position arrives over CAN (``WIPER_COMMAND.WIPER_MODE``):
+  0 = off, 1 = interval, 2 = slow, 3 = fast.
+* In slow/fast mode the wiper motor output is driven continuously (fast mode
+  additionally asserts the ``WIPER_FAST`` relay output).
+* In interval mode the motor is pulsed: one :data:`WIPE_DURATION_S` wipe
+  every :data:`INTERVAL_S` seconds, realised with scheduled events.
+* Wiping requires ignition "run".
+* The washer request (``WIPER_COMMAND.WASH`` or the resistive ``WASH_SW``
+  input) runs the washer pump output while active and triggers
+  :data:`AFTER_WASH_WIPES` extra wipes after it is released.
+"""
+
+from __future__ import annotations
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["WiperEcu"]
+
+
+class WiperEcu(EcuModel):
+    """Behavioural model of a front wiper control unit."""
+
+    NAME = "wiper_ecu"
+    PINS = (
+        Pin("WASH_SW", PinKind.RESISTIVE_INPUT, "washer push button"),
+        Pin("WIPER_MOTOR", PinKind.POWER_OUTPUT, "wiper motor supply"),
+        Pin("WIPER_FAST", PinKind.SIGNAL_OUTPUT, "fast-speed relay"),
+        Pin("WASH_PUMP", PinKind.POWER_OUTPUT, "washer pump supply"),
+    )
+    RX_MESSAGES = ("WIPER_COMMAND", "IGN_STATUS")
+    TX_MESSAGES = ()
+
+    CONTACT_THRESHOLD = 100.0
+    #: Pause between interval wipes [s].
+    INTERVAL_S = 5.0
+    #: Duration of one wipe stroke [s].
+    WIPE_DURATION_S = 1.0
+    #: Number of follow-up wipes after washing.
+    AFTER_WASH_WIPES = 3
+
+    def __init__(self) -> None:
+        self._mode = 0
+        self._interval_wiping = False
+        self._interval_event = None
+        self._wipe_end_event = None
+        self._washing = False
+        self._after_wash_remaining = 0
+        super().__init__()
+
+    def _reset_state(self) -> None:
+        self._mode = 0
+        self._interval_wiping = False
+        self._interval_event = None
+        self._wipe_end_event = None
+        self._washing = False
+        self._after_wash_remaining = 0
+
+    # -- observable state -----------------------------------------------------------
+
+    @property
+    def mode(self) -> int:
+        return self._mode
+
+    @property
+    def ignition_on(self) -> bool:
+        return self.rx_signal("IGN_STATUS", "IGN_ST", 0.0) >= 2
+
+    @property
+    def motor_running(self) -> bool:
+        return self.output_drive("WIPER_MOTOR").driven
+
+    # -- interval machinery ------------------------------------------------------------
+
+    def _cancel_interval(self) -> None:
+        if self._interval_event is not None:
+            self._interval_event.cancel()
+            self._interval_event = None
+        if self._wipe_end_event is not None:
+            self._wipe_end_event.cancel()
+            self._wipe_end_event = None
+        self._interval_wiping = False
+
+    def _start_wipe(self) -> None:
+        self._interval_wiping = True
+        self._wipe_end_event = self.scheduler.schedule_in(
+            self.WIPE_DURATION_S, self._end_wipe, name="wipe_end"
+        )
+        self._apply_outputs()
+
+    def _end_wipe(self) -> None:
+        self._interval_wiping = False
+        self._wipe_end_event = None
+        if self._after_wash_remaining > 0:
+            self._after_wash_remaining -= 1
+            if self._after_wash_remaining > 0:
+                self._start_wipe()
+                return
+        if self._mode == 1 and self.ignition_on:
+            self._interval_event = self.scheduler.schedule_in(
+                self.INTERVAL_S, self._start_wipe, name="interval_wipe"
+            )
+        self._apply_outputs()
+
+    # -- behaviour ----------------------------------------------------------------------
+
+    def _apply_outputs(self) -> None:
+        continuous = self._mode in (2, 3) and self.ignition_on
+        motor_on = continuous or self._interval_wiping or self._washing
+        if motor_on and self.ignition_on:
+            self.drive_output("WIPER_MOTOR", OutputDrive.high_side(0.3))
+        else:
+            self.drive_output("WIPER_MOTOR", OutputDrive.floating())
+        if self._mode == 3 and self.ignition_on:
+            self.drive_output("WIPER_FAST", OutputDrive.high_side(1.0))
+        else:
+            self.drive_output("WIPER_FAST", OutputDrive.floating())
+        if self._washing and self.ignition_on:
+            self.drive_output("WASH_PUMP", OutputDrive.high_side(0.5))
+        else:
+            self.drive_output("WASH_PUMP", OutputDrive.floating())
+
+    def _evaluate(self) -> None:
+        new_mode = int(self.rx_signal("WIPER_COMMAND", "WIPER_MODE", 0.0))
+        washing = (
+            self.rx_signal("WIPER_COMMAND", "WASH", 0.0) >= 0.5
+            or self.contact_closed("WASH_SW", self.CONTACT_THRESHOLD)
+        ) and self.ignition_on
+
+        if washing and not self._washing:
+            self._after_wash_remaining = self.AFTER_WASH_WIPES
+        if not washing and self._washing and self._after_wash_remaining > 0:
+            # Washer released: run the follow-up wipes.
+            self._start_wipe()
+        self._washing = washing
+
+        if new_mode != self._mode or not self.ignition_on:
+            self._mode = new_mode
+            self._cancel_interval()
+            if self._mode == 1 and self.ignition_on:
+                self._start_wipe()
+        self._apply_outputs()
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()
+
+    def _time_advanced(self) -> None:
+        self._apply_outputs()

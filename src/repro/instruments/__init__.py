@@ -1,0 +1,24 @@
+"""Virtual instruments: the resources a test stand is built from."""
+
+from .base import Capability, Instrument
+from .can_interface import CanInterface
+from .current_probe import CurrentProbe
+from .digital_io import DigitalIo
+from .dvm import Dvm
+from .ohmmeter import OhmMeter
+from .power_supply import PowerSupply
+from .resistor_decade import ResistorDecade
+from .signal_generator import SignalGenerator
+
+__all__ = [
+    "Capability",
+    "Instrument",
+    "Dvm",
+    "ResistorDecade",
+    "PowerSupply",
+    "CurrentProbe",
+    "OhmMeter",
+    "DigitalIo",
+    "CanInterface",
+    "SignalGenerator",
+]

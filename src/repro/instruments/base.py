@@ -1,0 +1,174 @@
+"""Virtual instrument framework.
+
+A test stand *resource* (the paper's term) is an instrument that supports a
+set of methods within parameter ranges: *"Ressources in this context are
+described by the methods that are supported by them and the valid range for
+all parameters."*  This module defines
+
+:class:`Capability`
+    one row of the paper's resource table: a supported method, its principal
+    attribute, the valid min/max range and the unit,
+:class:`Instrument`
+    the base class all virtual instruments derive from.  An instrument knows
+    how to *perform* the methods it supports against a
+    :class:`~repro.dut.harness.TestHarness`.
+
+Instruments are intentionally unaware of signals, sheets or XML - they see
+only pins and parameter values, which is what keeps the execution side of
+the tool chain independent from the definition side.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.errors import CapabilityError, InstrumentError
+from ..core.signals import Signal
+from ..core.script import MethodCall
+from ..core.values import Interval, format_number
+from ..dut.harness import TestHarness
+from ..methods import MethodOutcome
+
+__all__ = ["Capability", "Instrument"]
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One supported method with its valid parameter range."""
+
+    method: str
+    attribute: str
+    minimum: float
+    maximum: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise InstrumentError(
+                f"capability {self.method!r}: minimum {self.minimum} exceeds "
+                f"maximum {self.maximum}"
+            )
+
+    @property
+    def range(self) -> Interval:
+        """Valid parameter range as an interval."""
+        return Interval(self.minimum, self.maximum)
+
+    @property
+    def span(self) -> float:
+        """Width of the valid range (used by the best-fit allocation policy)."""
+        return self.maximum - self.minimum
+
+    def can_serve(self, nominal: float | None, acceptance: Interval | None = None) -> bool:
+        """Whether a request with this nominal value / acceptance window fits.
+
+        A request is servable when either its nominal value lies inside the
+        capability range, or - for requests whose nominal is out of range but
+        that specify an acceptance window (e.g. ``r = INF`` with
+        ``r_min = 5000``) - the acceptance window overlaps the range so a
+        clamped value still satisfies the test.
+        """
+        if nominal is not None and self.range.contains(nominal):
+            return True
+        if acceptance is not None and acceptance.intersects(self.range):
+            return True
+        return False
+
+    def as_row(self) -> tuple[str, str, str, str, str]:
+        """Render as the paper's resource-table columns (method..unit)."""
+        return (
+            self.method,
+            self.attribute,
+            format_number(self.minimum),
+            format_number(self.maximum, decimal_comma=False)
+            if not math.isinf(self.maximum) else "INF",
+            self.unit,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.method}({self.attribute}: {self.range} {self.unit})".strip()
+
+
+class Instrument(abc.ABC):
+    """Base class of all virtual instruments.
+
+    Subclasses declare their terminals (connection points, e.g. ``hi``/``lo``
+    for a DVM) and capabilities, and implement :meth:`execute` which performs
+    one method call against the harness.
+    """
+
+    #: Connection terminals of the instrument, in routing order.
+    TERMINALS: tuple[str, ...] = ("a",)
+    #: Whether the instrument attaches to the bus instead of discrete pins.
+    IS_BUS_INTERFACE: bool = False
+
+    def __init__(self, name: str):
+        if not str(name).strip():
+            raise InstrumentError("instrument needs a name")
+        self.name = str(name).strip()
+
+    # -- capabilities -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def capabilities(self) -> tuple[Capability, ...]:
+        """The methods this instrument supports with their valid ranges."""
+
+    def supports(self, method: str) -> bool:
+        """Whether the instrument supports *method* at all."""
+        wanted = str(method).lower()
+        return any(cap.method.lower() == wanted for cap in self.capabilities())
+
+    def capability_for(self, method: str) -> Capability:
+        """Capability entry for *method* (raises when unsupported)."""
+        wanted = str(method).lower()
+        for capability in self.capabilities():
+            if capability.method.lower() == wanted:
+                return capability
+        raise CapabilityError(
+            f"instrument {self.name!r} does not support method {method!r}",
+            method=method,
+        )
+
+    @property
+    def terminals(self) -> tuple[str, ...]:
+        return self.TERMINALS
+
+    @property
+    def is_bus_interface(self) -> bool:
+        return self.IS_BUS_INTERFACE
+
+    # -- execution ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        call: MethodCall,
+        signal: Signal,
+        pins: Sequence[str],
+        harness: TestHarness,
+        variables: Mapping[str, float],
+    ) -> MethodOutcome:
+        """Perform one method call and return its outcome.
+
+        Parameters
+        ----------
+        call:
+            The method statement from the test script (textual parameters).
+        signal:
+            The requirement-level signal being stimulated or checked; bus
+            instruments use its ``message`` attribute.
+        pins:
+            The DUT pins this instrument has been routed to for the call, in
+            terminal order.
+        harness:
+            The DUT harness providing the electrical / bus primitives.
+        variables:
+            Stand variables for evaluating relative limits (``ubatt``...).
+        """
+
+    def __repr__(self) -> str:
+        methods = ", ".join(sorted({c.method for c in self.capabilities()}))
+        return f"{type(self).__name__}(name={self.name!r}, methods=[{methods}])"

@@ -1,0 +1,54 @@
+"""Current probe: measures the current sourced by a DUT output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.errors import InstrumentError
+from ..core.signals import Signal
+from ..core.script import MethodCall
+from ..dut.harness import TestHarness
+from ..methods import MethodOutcome, limits_from_params
+from .base import Capability, Instrument
+
+__all__ = ["CurrentProbe"]
+
+
+class CurrentProbe(Instrument):
+    """A clamp-style current probe supporting ``get_i``."""
+
+    TERMINALS = ("clamp",)
+
+    def __init__(self, name: str, *, i_max: float = 30.0, accuracy: float = 0.01):
+        super().__init__(name)
+        if i_max <= 0:
+            raise InstrumentError("current probe range must be positive")
+        self.i_max = float(i_max)
+        self.accuracy = float(accuracy)
+
+    def capabilities(self) -> tuple[Capability, ...]:
+        return (Capability("get_i", "i", -self.i_max, self.i_max, "A"),)
+
+    def execute(
+        self,
+        call: MethodCall,
+        signal: Signal,
+        pins: Sequence[str],
+        harness: TestHarness,
+        variables: Mapping[str, float],
+    ) -> MethodOutcome:
+        if call.method.lower() != "get_i":
+            raise InstrumentError(f"current probe {self.name!r} cannot perform {call.method!r}")
+        if not pins:
+            raise InstrumentError(f"current probe {self.name!r} has not been routed to any pin")
+        observed = harness.measure_current(pins[0])
+        limits = limits_from_params(dict(call.params), "i", variables)
+        passed = limits.contains(observed, tolerance=self.accuracy)
+        return MethodOutcome(
+            method=call.method,
+            passed=passed,
+            observed=observed,
+            limits=limits,
+            unit="A",
+            detail=f"measured by {self.name} at {pins[0]}",
+        )

@@ -1,0 +1,47 @@
+"""Bus methods: stimulating and checking signals transported over CAN.
+
+The paper's example carries the ignition status (``IGN_ST``) and the light
+sensor bit (``NIGHT``) over CAN; the corresponding statuses (``Off``, ``0``,
+``1``) are bound to the method ``put_can`` whose single parameter is the raw
+payload literal (``0001B``).
+
+``get_can`` is the measuring counterpart used for outputs the DUT reports on
+the bus (not used by the paper's example but required for richer component
+tests such as the central-locking status message).
+"""
+
+from __future__ import annotations
+
+from .base import MethodKind, MethodSpec, ParameterRole, ParameterSpec
+
+__all__ = ["PUT_CAN", "GET_CAN", "BUS_METHODS"]
+
+
+PUT_CAN = MethodSpec(
+    name="put_can",
+    kind=MethodKind.STIMULUS,
+    attribute="data",
+    parameters=(
+        ParameterSpec("data", ParameterRole.PAYLOAD,
+                      description="payload literal to transmit (e.g. 0001B, 3AH, 7)"),
+    ),
+    description="Transmit the carrying CAN message with the given signal payload.",
+)
+
+GET_CAN = MethodSpec(
+    name="get_can",
+    kind=MethodKind.MEASUREMENT,
+    attribute="data",
+    parameters=(
+        ParameterSpec("data", ParameterRole.PAYLOAD, required=False,
+                      description="exact payload expected"),
+        ParameterSpec("data_min", ParameterRole.MINIMUM, required=False,
+                      description="lower acceptance limit for the decoded payload"),
+        ParameterSpec("data_max", ParameterRole.MAXIMUM, required=False,
+                      description="upper acceptance limit for the decoded payload"),
+    ),
+    description="Receive the carrying CAN message and compare the decoded signal value.",
+)
+
+#: All bus methods in registration order.
+BUS_METHODS: tuple[MethodSpec, ...] = (PUT_CAN, GET_CAN)

@@ -1,0 +1,143 @@
+"""Standard electrical methods (voltages, currents, resistances, logic pins).
+
+These are the methods the paper's example uses for discrete pins:
+
+``put_r``
+    apply a resistance to a signal pin (resistor decade) - used for the door
+    contact statuses ``Open`` / ``Closed``,
+``get_u``
+    measure the voltage at a signal pin and compare it against limits that
+    may be relative to the supply voltage - used for ``Lo`` / ``Ho``.
+
+The module additionally defines the symmetric counterparts (``put_u``,
+``get_r``, ``put_i``, ``get_i``) and logic-level variants (``put_digital``,
+``get_digital``) so that richer component tests can be expressed with the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from .base import MethodKind, MethodSpec, ParameterRole, ParameterSpec
+
+__all__ = [
+    "PUT_R",
+    "PUT_U",
+    "PUT_I",
+    "GET_U",
+    "GET_R",
+    "GET_I",
+    "PUT_DIGITAL",
+    "GET_DIGITAL",
+    "ELECTRICAL_METHODS",
+]
+
+
+PUT_R = MethodSpec(
+    name="put_r",
+    kind=MethodKind.STIMULUS,
+    attribute="r",
+    parameters=(
+        ParameterSpec("r", ParameterRole.NOMINAL, unit="Ohm",
+                      description="resistance to apply between the pin and ground"),
+        ParameterSpec("r_min", ParameterRole.MINIMUM, unit="Ohm", required=False,
+                      description="lowest acceptable applied resistance"),
+        ParameterSpec("r_max", ParameterRole.MAXIMUM, unit="Ohm", required=False,
+                      description="highest acceptable applied resistance"),
+    ),
+    description="Apply a resistance to the signal pin (e.g. a door-contact emulation).",
+)
+
+PUT_U = MethodSpec(
+    name="put_u",
+    kind=MethodKind.STIMULUS,
+    attribute="u",
+    parameters=(
+        ParameterSpec("u", ParameterRole.NOMINAL, unit="V",
+                      description="voltage to apply to the signal pin"),
+        ParameterSpec("u_min", ParameterRole.MINIMUM, unit="V", required=False),
+        ParameterSpec("u_max", ParameterRole.MAXIMUM, unit="V", required=False),
+    ),
+    description="Apply a voltage to the signal pin (power supply / signal generator).",
+)
+
+PUT_I = MethodSpec(
+    name="put_i",
+    kind=MethodKind.STIMULUS,
+    attribute="i",
+    parameters=(
+        ParameterSpec("i", ParameterRole.NOMINAL, unit="A",
+                      description="current to source into the signal pin"),
+        ParameterSpec("i_min", ParameterRole.MINIMUM, unit="A", required=False),
+        ParameterSpec("i_max", ParameterRole.MAXIMUM, unit="A", required=False),
+    ),
+    description="Source a current into the signal pin (current source).",
+)
+
+GET_U = MethodSpec(
+    name="get_u",
+    kind=MethodKind.MEASUREMENT,
+    attribute="u",
+    parameters=(
+        ParameterSpec("u_min", ParameterRole.MINIMUM, unit="V",
+                      description="lower acceptance limit for the measured voltage"),
+        ParameterSpec("u_max", ParameterRole.MAXIMUM, unit="V",
+                      description="upper acceptance limit for the measured voltage"),
+    ),
+    description="Measure the voltage at the signal pin and compare it to limits.",
+)
+
+GET_R = MethodSpec(
+    name="get_r",
+    kind=MethodKind.MEASUREMENT,
+    attribute="r",
+    parameters=(
+        ParameterSpec("r_min", ParameterRole.MINIMUM, unit="Ohm"),
+        ParameterSpec("r_max", ParameterRole.MAXIMUM, unit="Ohm"),
+    ),
+    description="Measure the resistance at the signal pin and compare it to limits.",
+)
+
+GET_I = MethodSpec(
+    name="get_i",
+    kind=MethodKind.MEASUREMENT,
+    attribute="i",
+    parameters=(
+        ParameterSpec("i_min", ParameterRole.MINIMUM, unit="A"),
+        ParameterSpec("i_max", ParameterRole.MAXIMUM, unit="A"),
+    ),
+    description="Measure the current drawn by the signal pin and compare it to limits.",
+)
+
+PUT_DIGITAL = MethodSpec(
+    name="put_digital",
+    kind=MethodKind.STIMULUS,
+    attribute="level",
+    parameters=(
+        ParameterSpec("level", ParameterRole.NOMINAL,
+                      description="logic level to drive (0 or 1)"),
+    ),
+    description="Drive a logic level onto the signal pin.",
+)
+
+GET_DIGITAL = MethodSpec(
+    name="get_digital",
+    kind=MethodKind.MEASUREMENT,
+    attribute="level",
+    parameters=(
+        ParameterSpec("level_min", ParameterRole.MINIMUM, required=False),
+        ParameterSpec("level_max", ParameterRole.MAXIMUM, required=False),
+    ),
+    description="Read the logic level of the signal pin and compare it to limits.",
+)
+
+#: All electrical methods in registration order.
+ELECTRICAL_METHODS: tuple[MethodSpec, ...] = (
+    PUT_R,
+    PUT_U,
+    PUT_I,
+    GET_U,
+    GET_R,
+    GET_I,
+    PUT_DIGITAL,
+    GET_DIGITAL,
+)

@@ -1,0 +1,29 @@
+"""Timing methods.
+
+The paper encodes timing in the dedicated Δt column of the test definition
+sheet; every step carries its own duration.  In addition to that implicit
+mechanism this module provides an explicit ``wait`` method so that scripts
+generated from other front-ends (or hand-written XML) can insert extra
+settling time for a single signal without adding a test step.
+"""
+
+from __future__ import annotations
+
+from .base import MethodKind, MethodSpec, ParameterRole, ParameterSpec
+
+__all__ = ["WAIT", "TIMING_METHODS"]
+
+
+WAIT = MethodSpec(
+    name="wait",
+    kind=MethodKind.TIMING,
+    attribute="t",
+    parameters=(
+        ParameterSpec("t", ParameterRole.DURATION, unit="s",
+                      description="time to wait before continuing, in seconds"),
+    ),
+    description="Advance simulated/real time without stimulating or measuring.",
+)
+
+#: All timing methods in registration order.
+TIMING_METHODS: tuple[MethodSpec, ...] = (WAIT,)

@@ -1,0 +1,57 @@
+"""The paper's worked example and table renderings."""
+
+from .example import (
+    PAPER_TEST_NAME,
+    build_paper_harness,
+    compile_paper_script,
+    paper_can_database,
+    paper_signal_set,
+    paper_status_table,
+    paper_suite,
+    paper_test_definition,
+    paper_workbook,
+    paper_xml_snippet_action,
+    run_paper_example,
+)
+from .extended import (
+    build_locking_harness,
+    extended_suite,
+    extended_test_definitions,
+    locking_signal_set,
+    locking_status_table,
+    locking_suite,
+    locking_test_definitions,
+)
+from .tables import (
+    render_connection_matrix,
+    render_resource_table,
+    render_status_table,
+    render_test_circuit,
+    render_test_definition_table,
+)
+
+__all__ = [
+    "PAPER_TEST_NAME",
+    "paper_signal_set",
+    "paper_status_table",
+    "paper_test_definition",
+    "paper_suite",
+    "paper_workbook",
+    "paper_can_database",
+    "build_paper_harness",
+    "compile_paper_script",
+    "run_paper_example",
+    "paper_xml_snippet_action",
+    "render_test_definition_table",
+    "render_status_table",
+    "render_resource_table",
+    "render_connection_matrix",
+    "render_test_circuit",
+    "extended_suite",
+    "extended_test_definitions",
+    "locking_suite",
+    "locking_signal_set",
+    "locking_status_table",
+    "locking_test_definitions",
+    "build_locking_harness",
+]

@@ -1,0 +1,226 @@
+"""Extended test suites beyond the paper's single sheet.
+
+The paper's ten-step sheet covers the headline behaviour (day vs. night,
+front-left door, 300 s timeout) but - as the fault-injection campaign shows -
+leaves gaps: the front-right and rear doors are never exercised at night and
+the supply-voltage dependence of the ``Lo``/``Ho`` limits is never probed.
+These extended sheets demonstrate how a project accumulates test knowledge
+over time while reusing the very same status vocabulary and signals (the
+paper's reuse argument), and they feed the E3 fault-detection benchmark:
+
+* ``all_doors_at_night``    - every door is opened individually at night,
+* ``timeout_reset``         - closing and re-opening a door re-arms the 300 s timer,
+* ``undervoltage_operation``- the lamp still reaches its relative ``Ho`` window
+  at a reduced supply voltage (exercises the ``(0.7*ubatt)`` relativity).
+
+A second DUT project (central locking) with its own sheets is provided for
+the reuse experiment E2; it shares the ``Open``/``Closed``/``0``/``1``
+vocabulary with the interior-light project and adds lock-specific statuses.
+"""
+
+from __future__ import annotations
+
+from ..core.signals import Signal, SignalDirection, SignalKind, SignalSet
+from ..core.status import StatusDefinition, StatusTable
+from ..core.testdef import TestDefinition, TestSuite
+from ..dut.central_locking import CentralLockingEcu
+from ..dut.harness import LoadSpec, TestHarness
+from ..dut.messages import body_can_database
+from .example import paper_signal_set, paper_status_table, paper_test_definition
+
+__all__ = [
+    "extended_test_definitions",
+    "extended_suite",
+    "locking_signal_set",
+    "locking_status_table",
+    "locking_test_definitions",
+    "locking_suite",
+    "build_locking_harness",
+]
+
+
+# ---------------------------------------------------------------------------
+# Interior light: additional test sheets
+# ---------------------------------------------------------------------------
+
+def _all_doors_at_night() -> TestDefinition:
+    test = TestDefinition(
+        "all_doors_at_night",
+        signals=("NIGHT", "DS_FL", "DS_FR", "DS_RL", "DS_RR", "INT_ILL"),
+        description="Each door individually switches the illumination on at night",
+        requirement="REQ_INT_ILL_DOORS",
+    )
+    test.add_step(0.5, {"NIGHT": "1", "DS_FL": "Closed", "DS_FR": "Closed",
+                        "DS_RL": "Closed", "DS_RR": "Closed", "INT_ILL": "Lo"},
+                  remark="night, all doors closed")
+    for door in ("DS_FL", "DS_FR", "DS_RL", "DS_RR"):
+        test.add_step(0.5, {door: "Open", "INT_ILL": "Ho"},
+                      remark=f"{door} opens the illumination")
+        test.add_step(0.5, {door: "Closed", "INT_ILL": "Lo"},
+                      remark=f"{door} closed again")
+    return test
+
+
+def _timeout_reset() -> TestDefinition:
+    test = TestDefinition(
+        "timeout_reset",
+        signals=("NIGHT", "DS_FL", "INT_ILL"),
+        description="Closing and re-opening a door re-arms the 300 s timer",
+        requirement="REQ_INT_ILL_TIMEOUT",
+    )
+    test.add_step(0.5, {"NIGHT": "1", "DS_FL": "Closed", "INT_ILL": "Lo"},
+                  remark="night, door closed")
+    test.add_step(0.5, {"DS_FL": "Open", "INT_ILL": "Ho"}, remark="door open")
+    test.add_step(250.0, {"INT_ILL": "Ho"}, remark="still inside 300 s")
+    test.add_step(0.5, {"DS_FL": "Closed", "INT_ILL": "Lo"}, remark="door closed: lamp off")
+    test.add_step(0.5, {"DS_FL": "Open", "INT_ILL": "Ho"}, remark="timer restarted")
+    test.add_step(290.0, {"INT_ILL": "Ho"}, remark="fresh 300 s window")
+    test.add_step(15.0, {"INT_ILL": "Lo"}, remark="second timeout expires")
+    return test
+
+
+def _undervoltage_operation() -> TestDefinition:
+    test = TestDefinition(
+        "undervoltage_operation",
+        signals=("NIGHT", "DS_FL", "INT_ILL"),
+        description="Relative Lo/Ho limits also hold at reduced supply voltage",
+        requirement="REQ_INT_ILL_UBATT",
+    )
+    test.add_step(0.5, {"NIGHT": "1", "DS_FL": "Closed", "INT_ILL": "Lo"},
+                  remark="lamp off before")
+    test.add_step(1.0, {"DS_FL": "Open", "INT_ILL": "Ho"},
+                  remark="lamp reaches 0.7..1.1 x UBATT")
+    test.add_step(1.0, {"DS_FL": "Closed", "INT_ILL": "Lo"},
+                  remark="lamp off after")
+    return test
+
+
+def extended_test_definitions() -> tuple[TestDefinition, ...]:
+    """The additional interior-light test sheets (beyond the paper's one)."""
+    return (_all_doors_at_night(), _timeout_reset(), _undervoltage_operation())
+
+
+def extended_suite() -> TestSuite:
+    """Paper suite plus the extended sheets (same signals, same statuses)."""
+    suite = TestSuite(
+        "interior_light_ecu",
+        paper_signal_set(),
+        paper_status_table(),
+        (paper_test_definition(), *extended_test_definitions()),
+        description="Interior illumination: paper sheet plus accumulated project knowledge",
+    )
+    suite.validate()
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# Central locking: a second project reusing the shared vocabulary
+# ---------------------------------------------------------------------------
+
+def locking_signal_set() -> SignalSet:
+    """Signal definition sheet of the central locking project."""
+    return SignalSet(
+        (
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="IGN_STATUS", initial_status="Off",
+                   description="ignition status over CAN"),
+            Signal("LOCK_REQ", SignalDirection.INPUT, SignalKind.BUS,
+                   message="LOCK_COMMAND", initial_status="0",
+                   description="lock / unlock request over CAN"),
+            Signal("SPEED", SignalDirection.INPUT, SignalKind.BUS,
+                   message="VEHICLE_SPEED", initial_status="0",
+                   description="vehicle speed over CAN"),
+            Signal("KEY_SW", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("KEY_SW",), initial_status="Closed",
+                   description="key switch, lock position"),
+            Signal("UNLOCK_SW", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("UNLOCK_SW",), initial_status="Closed",
+                   description="key switch, unlock position"),
+            Signal("LOCK_LED", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("LOCK_LED",), initial_status="Lo",
+                   description="lock indicator LED output"),
+            Signal("LOCKED", SignalDirection.OUTPUT, SignalKind.BUS,
+                   message="LOCK_STATUS",
+                   description="lock status report over CAN"),
+        ),
+        dut="central_locking_ecu",
+    )
+
+
+def locking_status_table() -> StatusTable:
+    """Status table of the locking project: shared vocabulary plus lock statuses."""
+    shared = paper_status_table()
+    additions = StatusTable(
+        (
+            StatusDefinition.from_cells("Lock", "put_can", "data", nominal="01B",
+                                        description="lock request"),
+            StatusDefinition.from_cells("Unlock", "put_can", "data", nominal="10B",
+                                        description="unlock request"),
+            StatusDefinition.from_cells("Standstill", "put_can", "data", nominal="0",
+                                        description="vehicle speed 0 km/h"),
+            StatusDefinition.from_cells("Driving", "put_can", "data", nominal="200",
+                                        description="vehicle speed 20 km/h (raw 0.1 km/h)"),
+            StatusDefinition.from_cells("IgnOn", "put_can", "data", nominal="10B",
+                                        description="ignition run"),
+            StatusDefinition.from_cells("Locked", "get_can", "data", nominal="1B",
+                                        description="lock status reports locked"),
+            StatusDefinition.from_cells("Unlocked", "get_can", "data", nominal="0B",
+                                        description="lock status reports unlocked"),
+        ),
+        name="locking_additions",
+    )
+    return shared.merged_with(additions, name="locking_status")
+
+
+def locking_test_definitions() -> tuple[TestDefinition, ...]:
+    """Two test sheets of the central locking project."""
+    remote = TestDefinition(
+        "remote_locking",
+        signals=("IGN_ST", "LOCK_REQ", "LOCK_LED", "LOCKED"),
+        description="Lock and unlock by CAN request",
+        requirement="REQ_LOCK_REMOTE",
+    )
+    remote.add_step(0.5, {"IGN_ST": "Off", "LOCK_REQ": "0", "LOCK_LED": "Lo"},
+                    remark="initially unlocked")
+    remote.add_step(0.5, {"LOCK_REQ": "Lock", "LOCK_LED": "Ho", "LOCKED": "Locked"},
+                    remark="lock request locks")
+    remote.add_step(0.5, {"LOCK_REQ": "Unlock", "LOCK_LED": "Lo", "LOCKED": "Unlocked"},
+                    remark="unlock request unlocks")
+
+    auto = TestDefinition(
+        "auto_lock",
+        signals=("IGN_ST", "SPEED", "KEY_SW", "LOCK_LED", "LOCKED"),
+        description="Automatic locking above 15 km/h",
+        requirement="REQ_LOCK_AUTO",
+    )
+    auto.add_step(0.5, {"IGN_ST": "IgnOn", "SPEED": "Standstill", "LOCK_LED": "Lo"},
+                  remark="ignition on, standing")
+    auto.add_step(0.5, {"SPEED": "Driving", "LOCK_LED": "Ho", "LOCKED": "Locked"},
+                  remark="driving off locks the car")
+    return (remote, auto)
+
+
+def locking_suite() -> TestSuite:
+    """The central locking project's complete suite (reuse experiment E2)."""
+    suite = TestSuite(
+        "central_locking_ecu",
+        locking_signal_set(),
+        locking_status_table(),
+        locking_test_definitions(),
+        description="Component tests of the central locking ECU",
+    )
+    suite.validate()
+    return suite
+
+
+def build_locking_harness(*, ubatt: float = 12.0) -> TestHarness:
+    """The central-locking ECU wired with its LED and actuator loads."""
+    return TestHarness(
+        CentralLockingEcu(),
+        body_can_database(),
+        ubatt=ubatt,
+        loads=(
+            LoadSpec("LOCK_LED", ohms=500.0, name="lock_led"),
+            LoadSpec("LOCK_ACT", ohms=3.0, name="lock_actuator"),
+        ),
+    )

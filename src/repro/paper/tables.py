@@ -1,0 +1,70 @@
+"""Text renderings of the paper's tables and figure.
+
+Each function regenerates one artefact of the paper from the library's data
+model; the reproduction benchmarks print these next to the expected content
+and assert the structural properties (row counts, key cells, routing).
+"""
+
+from __future__ import annotations
+
+from ..core.status import StatusTable
+from ..core.testdef import TestDefinition
+from ..teststand.report import format_table
+from ..teststand.stands import PAPER_PINS, TestStand, build_paper_stand
+from .example import paper_status_table, paper_test_definition
+
+__all__ = [
+    "render_test_definition_table",
+    "render_status_table",
+    "render_resource_table",
+    "render_connection_matrix",
+    "render_test_circuit",
+]
+
+
+def render_test_definition_table(test: TestDefinition | None = None) -> str:
+    """Paper Table 1: the test definition sheet."""
+    test = test or paper_test_definition()
+    return format_table(test.header(), test.rows())
+
+
+def render_status_table(table: StatusTable | None = None) -> str:
+    """Paper Table 2: the status table."""
+    table = table or paper_status_table()
+    return format_table(StatusTable.COLUMNS, table.rows())
+
+
+def render_resource_table(stand: TestStand | None = None) -> str:
+    """Paper Table 3: the resource table of the test stand."""
+    stand = stand or build_paper_stand()
+    return format_table(stand.resources.COLUMNS, stand.resource_rows())
+
+
+def render_connection_matrix(stand: TestStand | None = None) -> str:
+    """Paper Table 4: the connection matrix of the test stand."""
+    stand = stand or build_paper_stand()
+    return format_table(
+        stand.connections.header(PAPER_PINS), stand.connection_rows(PAPER_PINS)
+    )
+
+
+def render_test_circuit(stand: TestStand | None = None) -> str:
+    """Paper Figure 1: ASCII rendering of the test circuit wiring.
+
+    The drawing is generated from the connection matrix, so any change to the
+    stand definition shows up here - it is not a hard-coded picture.
+    """
+    stand = stand or build_paper_stand()
+    lines = [f"Test circuit of stand {stand.name!r} (UBATT = {stand.supply_voltage:g} V)", ""]
+    lines.append("  test stand                              DUT")
+    lines.append("  ----------                              ---")
+    for resource in stand.resources:
+        routes = stand.connections.routes_for_resource(resource.name)
+        if not routes and resource.is_bus_interface:
+            lines.append(f"  {resource.name:<10} ===== CAN bus ============== CAN_H/CAN_L")
+            continue
+        for route in routes:
+            lines.append(
+                f"  {resource.name:<10} --{route.terminal:>3}--[{route.connector.label:^7}]--> {route.pin}"
+            )
+    return "\n".join(lines)

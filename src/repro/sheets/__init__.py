@@ -1,0 +1,37 @@
+"""Worksheet front-end: the paper's Excel sheets, reproduced as CSV grids."""
+
+from .csvio import read_worksheet, worksheet_from_csv, worksheet_to_csv, write_worksheet
+from .signal_sheet import SIGNAL_SHEET_COLUMNS, build_signal_sheet, parse_signal_sheet
+from .status_sheet import STATUS_SHEET_COLUMNS, build_status_sheet, parse_status_sheet
+from .test_sheet import build_test_sheet, parse_test_sheet
+from .workbook import (
+    Workbook,
+    load_suite,
+    save_suite,
+    suite_to_workbook,
+    workbook_to_suite,
+)
+from .worksheet import Worksheet, cell_reference, parse_cell_reference
+
+__all__ = [
+    "Worksheet",
+    "cell_reference",
+    "parse_cell_reference",
+    "worksheet_to_csv",
+    "worksheet_from_csv",
+    "read_worksheet",
+    "write_worksheet",
+    "SIGNAL_SHEET_COLUMNS",
+    "STATUS_SHEET_COLUMNS",
+    "parse_signal_sheet",
+    "build_signal_sheet",
+    "parse_status_sheet",
+    "build_status_sheet",
+    "parse_test_sheet",
+    "build_test_sheet",
+    "Workbook",
+    "workbook_to_suite",
+    "suite_to_workbook",
+    "load_suite",
+    "save_suite",
+]

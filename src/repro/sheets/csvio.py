@@ -1,0 +1,77 @@
+"""CSV serialisation of worksheets.
+
+CSV keeps the sheets human-editable (any spreadsheet program can open and
+save them) without requiring a binary Excel library, which is the documented
+substitution of this reproduction.  Semicolon-separated files with a decimal
+comma - the form a German Excel would export - are accepted transparently.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import IO, Iterable
+
+from ..core.errors import SheetError
+from .worksheet import Worksheet
+
+__all__ = ["worksheet_to_csv", "worksheet_from_csv", "write_worksheet", "read_worksheet"]
+
+
+def worksheet_to_csv(sheet: Worksheet, *, delimiter: str = ",") -> str:
+    """Serialise a worksheet to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    for row in sheet.rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _sniff_delimiter(text: str) -> str:
+    first_line = text.splitlines()[0] if text.splitlines() else ""
+    if first_line.count(";") > first_line.count(","):
+        return ";"
+    return ","
+
+
+def worksheet_from_csv(
+    text: str, name: str, *, delimiter: str | None = None
+) -> Worksheet:
+    """Parse CSV text into a worksheet.
+
+    The delimiter is sniffed (``;`` vs ``,``) unless given explicitly.
+    """
+    if delimiter is None:
+        delimiter = _sniff_delimiter(text)
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    sheet = Worksheet(name)
+    for row in reader:
+        sheet.append_row(row)
+    return sheet
+
+
+def write_worksheet(sheet: Worksheet, destination: str | IO[str]) -> None:
+    """Write a worksheet to a CSV file path or text stream."""
+    text = worksheet_to_csv(sheet)
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    with open(destination, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)
+
+
+def read_worksheet(source: str | IO[str], name: str | None = None) -> Worksheet:
+    """Read a worksheet from a CSV file path or text stream."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+        if name is None:
+            raise SheetError("a sheet name is required when reading from a stream")
+        return worksheet_from_csv(text, name)
+    path = str(source)
+    if not os.path.exists(path):
+        raise SheetError(f"worksheet file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    inferred = name or os.path.splitext(os.path.basename(path))[0]
+    return worksheet_from_csv(text, inferred)

@@ -1,0 +1,90 @@
+"""Signal definition sheet: parsing and emitting.
+
+The paper: *"In the signal definition sheet all input and output signals of
+the device under test (DUT) are defined as well as the status of these
+signals before starting the test itself."*
+
+Layout used by this reproduction (one header row, one row per signal)::
+
+    signal   | direction | kind      | pins                  | message | initial | description
+    IGN_ST   | in        | can       |                       | IGN_ST  | Off     | ignition status
+    DS_FL    | in        | resistive | DS_FL                 |         | Closed  | door switch front left
+    INT_ILL  | out       | analog    | INT_ILL_F;INT_ILL_R   |         | Lo      | interior illumination
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SheetError
+from ..core.signals import Signal, SignalDirection, SignalKind, SignalSet
+from .worksheet import Worksheet
+
+__all__ = ["SIGNAL_SHEET_COLUMNS", "parse_signal_sheet", "build_signal_sheet"]
+
+#: Canonical column titles of a signal definition sheet.
+SIGNAL_SHEET_COLUMNS = (
+    "signal", "direction", "kind", "pins", "message", "initial", "description",
+)
+
+_PIN_SEPARATORS = (";", "/", "|")
+
+
+def _split_pins(cell: str) -> tuple[str, ...]:
+    text = cell.strip()
+    if not text:
+        return ()
+    for separator in _PIN_SEPARATORS:
+        if separator in text:
+            return tuple(part.strip() for part in text.split(separator) if part.strip())
+    return (text,)
+
+
+def parse_signal_sheet(sheet: Worksheet, *, dut: str = "") -> SignalSet:
+    """Parse a signal definition worksheet into a :class:`SignalSet`."""
+    header_row, columns = sheet.find_header("signal", "direction", "kind")
+    signals = SignalSet(dut=dut or sheet.name)
+
+    def cell(row: int, title: str) -> str:
+        column = columns.get(title)
+        if column is None:
+            return ""
+        return sheet.get(row, column).strip()
+
+    for row in range(header_row + 1, sheet.row_count):
+        if sheet.is_empty_row(row):
+            continue
+        name = cell(row, "signal")
+        if not name:
+            raise SheetError("row without a signal name", sheet=sheet.name, row=row)
+        try:
+            signal = Signal(
+                name=name,
+                direction=SignalDirection.parse(cell(row, "direction")),
+                kind=SignalKind.parse(cell(row, "kind")),
+                pins=_split_pins(cell(row, "pins")),
+                message=cell(row, "message") or None,
+                initial_status=cell(row, "initial") or None,
+                description=cell(row, "description"),
+            )
+        except SheetError:
+            raise
+        except Exception as exc:
+            raise SheetError(str(exc), sheet=sheet.name, row=row) from exc
+        signals.add(signal)
+    return signals
+
+
+def build_signal_sheet(signals: SignalSet, *, name: str = "signals") -> Worksheet:
+    """Emit a :class:`SignalSet` as a signal definition worksheet."""
+    sheet = Worksheet(name)
+    sheet.append_row(SIGNAL_SHEET_COLUMNS)
+    for signal in signals:
+        sheet.append_row((
+            signal.name,
+            signal.direction.value,
+            signal.kind.value,
+            ";".join(signal.pins),
+            signal.message or "",
+            signal.initial_status or "",
+            signal.description,
+        ))
+    return sheet

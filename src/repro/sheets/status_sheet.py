@@ -1,0 +1,103 @@
+"""Status definition sheet ("status table"): parsing and emitting.
+
+Layout follows the paper's second table::
+
+    status | method  | attribut | var (x) | nom   | min  | max  | D 1  | D 2  | D 3
+    Off    | put_can | data     |         | 0001B |      |      |      |      |
+    Open   | put_r   | r        |         | 0     | 0,5  | 1    | 2    |      |
+    Closed | put_r   | r        |         | INF   | INF  | 5000 | 5000 |      |
+    Lo     | get_u   | u        | UBATT   | 0     | 0    | 0,3  |      |      |
+    Ho     | get_u   | u        | UBATT   | 1     | 0,7  | 1,1  |      |      |
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SheetError
+from ..core.status import StatusDefinition, StatusTable
+from .worksheet import Worksheet
+
+__all__ = ["STATUS_SHEET_COLUMNS", "parse_status_sheet", "build_status_sheet"]
+
+#: Canonical column titles of a status definition sheet (paper spelling).
+STATUS_SHEET_COLUMNS = (
+    "status", "method", "attribut", "var (x)", "nom", "min", "max",
+    "D 1", "D 2", "D 3", "description",
+)
+
+_COLUMN_ALIASES = {
+    "status": ("status",),
+    "method": ("method",),
+    "attribut": ("attribut", "attribute"),
+    "var (x)": ("var (x)", "var", "variable"),
+    "nom": ("nom", "nominal"),
+    "min": ("min", "minimum"),
+    "max": ("max", "maximum"),
+    "d 1": ("d 1", "d1"),
+    "d 2": ("d 2", "d2"),
+    "d 3": ("d 3", "d3"),
+    "description": ("description", "remark", "remarks"),
+}
+
+
+def _resolve_columns(columns: dict[str, int]) -> dict[str, int]:
+    resolved: dict[str, int] = {}
+    for canonical, aliases in _COLUMN_ALIASES.items():
+        for alias in aliases:
+            if alias in columns:
+                resolved[canonical] = columns[alias]
+                break
+    return resolved
+
+
+def parse_status_sheet(sheet: Worksheet, *, name: str | None = None) -> StatusTable:
+    """Parse a status definition worksheet into a :class:`StatusTable`."""
+    header_row, columns = sheet.find_header("status", "method")
+    resolved = _resolve_columns(columns)
+    table = StatusTable(name=name or sheet.name)
+
+    def cell(row: int, title: str) -> str:
+        column = resolved.get(title)
+        if column is None:
+            return ""
+        return sheet.get(row, column).strip()
+
+    for row in range(header_row + 1, sheet.row_count):
+        if sheet.is_empty_row(row):
+            continue
+        status_name = cell(row, "status")
+        method = cell(row, "method")
+        if not status_name:
+            raise SheetError("row without a status name", sheet=sheet.name, row=row)
+        if not method:
+            raise SheetError(
+                f"status {status_name!r} has no method", sheet=sheet.name, row=row
+            )
+        try:
+            definition = StatusDefinition.from_cells(
+                name=status_name,
+                method=method,
+                attribute=cell(row, "attribut"),
+                variable=cell(row, "var (x)"),
+                nominal=cell(row, "nom"),
+                minimum=cell(row, "min"),
+                maximum=cell(row, "max"),
+                d1=cell(row, "d 1"),
+                d2=cell(row, "d 2"),
+                d3=cell(row, "d 3"),
+                description=cell(row, "description"),
+            )
+        except SheetError:
+            raise
+        except Exception as exc:
+            raise SheetError(str(exc), sheet=sheet.name, row=row) from exc
+        table.add(definition)
+    return table
+
+
+def build_status_sheet(table: StatusTable, *, name: str = "status") -> Worksheet:
+    """Emit a :class:`StatusTable` as a status definition worksheet."""
+    sheet = Worksheet(name)
+    sheet.append_row(STATUS_SHEET_COLUMNS)
+    for definition in table:
+        sheet.append_row((*definition.as_row(), definition.description))
+    return sheet

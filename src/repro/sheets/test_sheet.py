@@ -1,0 +1,136 @@
+"""Test definition sheet: parsing and emitting.
+
+Layout follows the paper's first table: the first two columns are the step
+number and Δt, the last column the free-text remark, and every column in
+between is one signal of the DUT.  An empty cell means "the signal keeps its
+previous status"::
+
+    test step | dt  | IGN_ST | DS_FL  | DS_FR  | NIGHT | INT_ILL | remarks
+    0         | 0,5 | Off    | Closed | Closed | 0     | Lo      | day: no interior
+    1         | 0,5 |        | Open   |        |       | Lo      | illumination, if
+    ...
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SheetError
+from ..core.testdef import StatusAssignment, TestDefinition, TestStep
+from ..core.values import format_number, parse_number
+from .worksheet import Worksheet
+
+__all__ = ["parse_test_sheet", "build_test_sheet"]
+
+_STEP_TITLES = ("test step", "step", "test_step", "no", "#")
+_DT_TITLES = ("dt", "δt", "ǻt", "delta t", "delta_t", "duration")
+_REMARK_TITLES = ("remarks", "remark", "comment", "comments")
+_REQUIREMENT_TITLES = ("requirement", "req", "req id")
+
+
+def _find_column(columns: dict[str, int], titles: tuple[str, ...]) -> int | None:
+    for title in titles:
+        if title in columns:
+            return columns[title]
+    return None
+
+
+def parse_test_sheet(sheet: Worksheet, *, name: str | None = None) -> TestDefinition:
+    """Parse a test definition worksheet into a :class:`TestDefinition`."""
+    header_row = None
+    columns: dict[str, int] = {}
+    for candidate_step in _STEP_TITLES:
+        for candidate_dt in _DT_TITLES:
+            try:
+                header_row, columns = sheet.find_header(candidate_step, candidate_dt)
+            except SheetError:
+                continue
+            break
+        if header_row is not None:
+            break
+    if header_row is None:
+        raise SheetError("no header row with step and dt columns", sheet=sheet.name)
+
+    step_column = _find_column(columns, _STEP_TITLES)
+    dt_column = _find_column(columns, _DT_TITLES)
+    remark_column = _find_column(columns, _REMARK_TITLES)
+    requirement_column = _find_column(columns, _REQUIREMENT_TITLES)
+    assert step_column is not None and dt_column is not None
+
+    reserved = {step_column, dt_column}
+    if remark_column is not None:
+        reserved.add(remark_column)
+    if requirement_column is not None:
+        reserved.add(requirement_column)
+
+    # Every remaining non-empty header cell is a signal column, in order.
+    signal_columns: list[tuple[int, str]] = []
+    header_cells = sheet.row(header_row)
+    for column, title in enumerate(header_cells):
+        if column in reserved or not title.strip():
+            continue
+        signal_columns.append((column, title.strip()))
+
+    definition = TestDefinition(
+        name=name or sheet.name,
+        signals=[title for _, title in signal_columns],
+    )
+
+    for row in range(header_row + 1, sheet.row_count):
+        if sheet.is_empty_row(row):
+            continue
+        step_text = sheet.get(row, step_column).strip()
+        if not step_text:
+            raise SheetError("row without a step number", sheet=sheet.name, row=row)
+        try:
+            number = int(parse_number(step_text))
+        except Exception as exc:
+            raise SheetError(
+                f"step number {step_text!r} is not an integer", sheet=sheet.name, row=row
+            ) from exc
+        dt_text = sheet.get(row, dt_column).strip()
+        try:
+            duration = parse_number(dt_text) if dt_text else 0.0
+        except Exception as exc:
+            raise SheetError(
+                f"cannot parse dt {dt_text!r}", sheet=sheet.name, row=row
+            ) from exc
+        assignments = []
+        for column, signal in signal_columns:
+            status = sheet.get(row, column).strip()
+            if status:
+                assignments.append(StatusAssignment(signal, status))
+        remark = sheet.get(row, remark_column).strip() if remark_column is not None else ""
+        requirement = (
+            sheet.get(row, requirement_column).strip() or None
+            if requirement_column is not None
+            else None
+        )
+        try:
+            definition.append(TestStep(
+                number=number,
+                duration=float(duration or 0.0),
+                assignments=tuple(assignments),
+                remark=remark,
+                requirement=requirement,
+            ))
+        except Exception as exc:
+            raise SheetError(str(exc), sheet=sheet.name, row=row) from exc
+    return definition
+
+
+def build_test_sheet(definition: TestDefinition, *, name: str | None = None) -> Worksheet:
+    """Emit a :class:`TestDefinition` as a test definition worksheet."""
+    sheet = Worksheet(name or definition.name)
+    has_requirements = any(step.requirement for step in definition)
+    header: list[str] = ["test step", "dt", *definition.columns, "remarks"]
+    if has_requirements:
+        header.append("requirement")
+    sheet.append_row(header)
+    for step in definition:
+        row: list[str] = [str(step.number), format_number(step.duration, decimal_comma=True)]
+        for column in definition.columns:
+            row.append(step.status_for(column) or "")
+        row.append(step.remark)
+        if has_requirements:
+            row.append(step.requirement or "")
+        sheet.append_row(row)
+    return sheet

@@ -1,0 +1,155 @@
+"""Workbook: the bundle of sheets describing one DUT's component tests.
+
+A workbook contains exactly one signal definition sheet, one status
+definition sheet and any number of test definition sheets - the paper's
+"three different types of Excel sheets".  Workbooks can be built in memory,
+converted to/from a :class:`~repro.core.testdef.TestSuite`, and persisted as
+a directory of CSV files (``signals.csv``, ``status.csv``, ``test_<name>.csv``)
+so projects can keep their test knowledge under version control.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from ..core.errors import SheetError
+from ..core.testdef import TestSuite
+from .csvio import read_worksheet, write_worksheet
+from .signal_sheet import build_signal_sheet, parse_signal_sheet
+from .status_sheet import build_status_sheet, parse_status_sheet
+from .test_sheet import build_test_sheet, parse_test_sheet
+from .worksheet import Worksheet
+
+__all__ = ["Workbook", "suite_to_workbook", "workbook_to_suite", "load_suite", "save_suite"]
+
+_SIGNAL_SHEET = "signals"
+_STATUS_SHEET = "status"
+_TEST_PREFIX = "test_"
+_META_SHEET = "meta"
+
+
+class Workbook:
+    """A named collection of worksheets with the three-sheet convention."""
+
+    def __init__(self, name: str, sheets: Iterable[Worksheet] = ()):
+        if not str(name).strip():
+            raise SheetError("workbook needs a name")
+        self.name = str(name).strip()
+        self._sheets: dict[str, Worksheet] = {}
+        for sheet in sheets:
+            self.add(sheet)
+
+    def add(self, sheet: Worksheet, *, replace: bool = False) -> None:
+        """Add a worksheet; duplicate names raise unless *replace*."""
+        key = sheet.name.lower()
+        if key in self._sheets and not replace:
+            raise SheetError(f"duplicate worksheet name: {sheet.name!r}")
+        self._sheets[key] = sheet
+
+    def get(self, name: str) -> Worksheet:
+        try:
+            return self._sheets[str(name).lower()]
+        except KeyError as exc:
+            raise SheetError(f"workbook has no sheet {name!r}") from exc
+
+    def __contains__(self, name: object) -> bool:
+        return str(name).lower() in self._sheets
+
+    def __iter__(self) -> Iterator[Worksheet]:
+        return iter(self._sheets.values())
+
+    def __len__(self) -> int:
+        return len(self._sheets)
+
+    @property
+    def sheet_names(self) -> tuple[str, ...]:
+        return tuple(sheet.name for sheet in self._sheets.values())
+
+    @property
+    def signal_sheet(self) -> Worksheet:
+        """The signal definition sheet (named ``signals``)."""
+        return self.get(_SIGNAL_SHEET)
+
+    @property
+    def status_sheet(self) -> Worksheet:
+        """The status definition sheet (named ``status``)."""
+        return self.get(_STATUS_SHEET)
+
+    @property
+    def test_sheets(self) -> tuple[Worksheet, ...]:
+        """All test definition sheets (named ``test_<name>``), in order."""
+        return tuple(
+            sheet for sheet in self._sheets.values()
+            if sheet.name.lower().startswith(_TEST_PREFIX)
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write every sheet as ``<directory>/<sheet name>.csv``."""
+        os.makedirs(directory, exist_ok=True)
+        for sheet in self:
+            write_worksheet(sheet, os.path.join(directory, f"{sheet.name}.csv"))
+
+    @classmethod
+    def load(cls, directory: str, *, name: str | None = None) -> "Workbook":
+        """Read every ``*.csv`` file in *directory* as one worksheet."""
+        if not os.path.isdir(directory):
+            raise SheetError(f"workbook directory not found: {directory}")
+        workbook = cls(name or os.path.basename(os.path.abspath(directory)))
+        for filename in sorted(os.listdir(directory)):
+            if not filename.lower().endswith(".csv"):
+                continue
+            sheet_name = os.path.splitext(filename)[0]
+            workbook.add(read_worksheet(os.path.join(directory, filename), sheet_name))
+        return workbook
+
+    def __repr__(self) -> str:
+        return f"Workbook(name={self.name!r}, sheets={list(self.sheet_names)!r})"
+
+
+def _dut_name(workbook: Workbook) -> str:
+    """DUT name of a workbook: the ``meta`` sheet wins over the workbook name."""
+    if _META_SHEET in workbook:
+        meta = workbook.get(_META_SHEET)
+        for row in meta.rows():
+            if len(row) >= 2 and row[0].strip().lower() == "dut" and row[1].strip():
+                return row[1].strip()
+    return workbook.name
+
+
+def workbook_to_suite(workbook: Workbook) -> TestSuite:
+    """Interpret a workbook's sheets as a :class:`TestSuite`."""
+    dut = _dut_name(workbook)
+    signals = parse_signal_sheet(workbook.signal_sheet, dut=dut)
+    statuses = parse_status_sheet(workbook.status_sheet)
+    suite = TestSuite(dut, signals, statuses)
+    for sheet in workbook.test_sheets:
+        test_name = sheet.name[len(_TEST_PREFIX):] if sheet.name.lower().startswith(
+            _TEST_PREFIX) else sheet.name
+        suite.add(parse_test_sheet(sheet, name=test_name))
+    suite.validate()
+    return suite
+
+
+def suite_to_workbook(suite: TestSuite, *, name: str | None = None) -> Workbook:
+    """Render a :class:`TestSuite` back into its three-sheet workbook form."""
+    workbook = Workbook(name or suite.dut)
+    meta = Worksheet(_META_SHEET, [("key", "value"), ("dut", suite.dut)])
+    workbook.add(meta)
+    workbook.add(build_signal_sheet(suite.signals, name=_SIGNAL_SHEET))
+    workbook.add(build_status_sheet(suite.statuses, name=_STATUS_SHEET))
+    for test in suite:
+        workbook.add(build_test_sheet(test, name=f"{_TEST_PREFIX}{test.name}"))
+    return workbook
+
+
+def load_suite(directory: str, *, name: str | None = None) -> TestSuite:
+    """Load a CSV workbook directory and interpret it as a test suite."""
+    return workbook_to_suite(Workbook.load(directory, name=name))
+
+
+def save_suite(suite: TestSuite, directory: str) -> None:
+    """Persist a test suite as a CSV workbook directory."""
+    suite_to_workbook(suite).save(directory)

@@ -1,0 +1,192 @@
+"""A minimal worksheet model - the library's stand-in for Excel.
+
+The paper uses Excel as the input front-end purely because *"usage of the
+tool chain [must be open] to all involved engineers without specific
+training"*.  The semantics live entirely in the three sheet layouts, not in
+the file format, so this reproduction substitutes a small in-memory grid
+(plus CSV serialisation, see :mod:`repro.sheets.csvio`) for the spreadsheet
+file.  The grid keeps the spreadsheet's mental model: cells addressed by row
+and column (either ``(row, col)`` indices or ``"B3"`` references), ragged
+rows, everything stored as text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Sequence
+
+from ..core.errors import SheetError
+
+__all__ = ["Worksheet", "cell_reference", "parse_cell_reference"]
+
+_CELL_RE = re.compile(r"^([A-Za-z]+)(\d+)$")
+
+
+def parse_cell_reference(reference: str) -> tuple[int, int]:
+    """Convert an ``"A1"``-style reference into 0-based ``(row, column)``."""
+    match = _CELL_RE.match(str(reference).strip())
+    if not match:
+        raise SheetError(f"invalid cell reference: {reference!r}")
+    letters, digits = match.groups()
+    column = 0
+    for char in letters.upper():
+        column = column * 26 + (ord(char) - ord("A") + 1)
+    row = int(digits)
+    if row < 1:
+        raise SheetError(f"invalid cell reference: {reference!r}")
+    return row - 1, column - 1
+
+
+def cell_reference(row: int, column: int) -> str:
+    """Convert 0-based ``(row, column)`` into an ``"A1"``-style reference."""
+    if row < 0 or column < 0:
+        raise SheetError(f"invalid cell coordinates: ({row}, {column})")
+    letters = ""
+    remaining = column + 1
+    while remaining:
+        remaining, digit = divmod(remaining - 1, 26)
+        letters = chr(ord("A") + digit) + letters
+    return f"{letters}{row + 1}"
+
+
+class Worksheet:
+    """A named grid of text cells.
+
+    Cells read as empty strings when never written; writing trims nothing and
+    stores values as text (like a spreadsheet's "general" format).  The grid
+    grows on demand.
+    """
+
+    def __init__(self, name: str, rows: Iterable[Sequence[object]] = ()):
+        if not str(name).strip():
+            raise SheetError("worksheet needs a name")
+        self.name = str(name).strip()
+        self._rows: list[list[str]] = []
+        for row in rows:
+            self.append_row(row)
+
+    # -- writing -------------------------------------------------------------
+
+    def append_row(self, values: Sequence[object]) -> int:
+        """Append a row of values; returns the new row's 0-based index."""
+        self._rows.append([self._to_text(value) for value in values])
+        return len(self._rows) - 1
+
+    def set(self, row: int, column: int, value: object) -> None:
+        """Write one cell, growing the grid as necessary."""
+        if row < 0 or column < 0:
+            raise SheetError(f"invalid cell coordinates: ({row}, {column})")
+        while len(self._rows) <= row:
+            self._rows.append([])
+        cells = self._rows[row]
+        while len(cells) <= column:
+            cells.append("")
+        cells[column] = self._to_text(value)
+
+    def set_reference(self, reference: str, value: object) -> None:
+        """Write one cell addressed by an ``"A1"``-style reference."""
+        row, column = parse_cell_reference(reference)
+        self.set(row, column, value)
+
+    @staticmethod
+    def _to_text(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, row: int, column: int) -> str:
+        """Read one cell; out-of-range cells read as empty strings."""
+        if row < 0 or column < 0:
+            raise SheetError(f"invalid cell coordinates: ({row}, {column})")
+        if row >= len(self._rows):
+            return ""
+        cells = self._rows[row]
+        if column >= len(cells):
+            return ""
+        return cells[column]
+
+    def get_reference(self, reference: str) -> str:
+        """Read one cell addressed by an ``"A1"``-style reference."""
+        row, column = parse_cell_reference(reference)
+        return self.get(row, column)
+
+    def row(self, index: int) -> tuple[str, ...]:
+        """One row, padded to :attr:`column_count` cells."""
+        width = self.column_count
+        if index >= len(self._rows):
+            return ("",) * width
+        cells = self._rows[index]
+        return tuple(cells) + ("",) * (width - len(cells))
+
+    def rows(self) -> Iterator[tuple[str, ...]]:
+        """Iterate all rows, each padded to the sheet's width."""
+        for index in range(len(self._rows)):
+            yield self.row(index)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def column_count(self) -> int:
+        return max((len(row) for row in self._rows), default=0)
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """One column, one entry per row."""
+        return tuple(self.get(row, index) for row in range(self.row_count))
+
+    def is_empty_row(self, index: int) -> bool:
+        """True when every cell of the row is blank."""
+        return all(not cell.strip() for cell in self.row(index))
+
+    def find_header(self, *required: str) -> tuple[int, dict[str, int]]:
+        """Locate the header row containing all *required* column titles.
+
+        Returns the header row index and a mapping of lower-cased cell text
+        to column index for every non-empty header cell.  Raises
+        :class:`SheetError` when no row contains all required titles.
+        """
+        wanted = [title.lower() for title in required]
+        for row_index in range(self.row_count):
+            cells = [cell.strip().lower() for cell in self.row(row_index)]
+            if all(title in cells for title in wanted):
+                mapping = {
+                    cell: column
+                    for column, cell in enumerate(cells)
+                    if cell
+                }
+                return row_index, mapping
+        raise SheetError(
+            f"no header row with columns {list(required)!r}", sheet=self.name
+        )
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Worksheet):
+            return NotImplemented
+        return self.name == other.name and list(self.rows()) == list(other.rows())
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return f"Worksheet(name={self.name!r}, rows={self.row_count}, cols={self.column_count})"
+
+    # -- presentation ---------------------------------------------------------
+
+    def to_text(self, *, separator: str = " | ") -> str:
+        """Render the sheet as aligned text (used by reports and benches)."""
+        widths = [0] * self.column_count
+        for row in self.rows():
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        for row in self.rows():
+            padded = [cell.ljust(widths[index]) for index, cell in enumerate(row)]
+            lines.append(separator.join(padded).rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Test-stand side of the tool chain: resources, routing, allocation, execution."""
+
+from .allocator import ALLOCATION_POLICIES, Allocation, Allocator
+from .connection import (
+    ConnectionMatrix,
+    Connector,
+    DirectWire,
+    MuxChannel,
+    Route,
+    Switch,
+)
+from .interpreter import TestStandInterpreter, run_script
+from .report import campaign_summary, format_table, json_report, summary_line, text_report
+from .resources import Resource, ResourceTable
+from .stands import (
+    PAPER_PINS,
+    TestStand,
+    build_big_rack,
+    build_minimal_bench,
+    build_paper_stand,
+    full_crossbar,
+)
+from .verdict import ActionResult, StepResult, TestResult, Verdict
+
+__all__ = [
+    "Resource",
+    "ResourceTable",
+    "Connector",
+    "Switch",
+    "MuxChannel",
+    "DirectWire",
+    "Route",
+    "ConnectionMatrix",
+    "Allocation",
+    "Allocator",
+    "ALLOCATION_POLICIES",
+    "TestStand",
+    "build_paper_stand",
+    "build_big_rack",
+    "build_minimal_bench",
+    "full_crossbar",
+    "PAPER_PINS",
+    "TestStandInterpreter",
+    "run_script",
+    "Verdict",
+    "ActionResult",
+    "StepResult",
+    "TestResult",
+    "format_table",
+    "text_report",
+    "json_report",
+    "summary_line",
+    "campaign_summary",
+]

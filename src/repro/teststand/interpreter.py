@@ -1,0 +1,214 @@
+"""Test-stand interpreter: executes XML test scripts on a (virtual) stand.
+
+The interpreter is the component the paper requires *"for those test stands,
+that are going to be used for component tests"*.  It only consumes
+
+* the stand-independent test script,
+* the stand's own resource table and connection matrix,
+* the DUT adapter information (which signal sits on which pin),
+
+which is precisely the boundary that makes the test definitions portable.
+The execution convention per step is: apply all stimuli of the step, let the
+step's Δt elapse, then evaluate all expectations.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Mapping
+
+from ..core.errors import AllocationError, ExecutionError, InstrumentError
+from ..core.script import ScriptStep, SignalAction, TestScript
+from ..core.signals import Signal, SignalSet
+from ..dut.harness import TestHarness
+from ..methods import MethodOutcome, MethodRegistry, default_registry
+from .allocator import Allocator
+from .stands import TestStand
+from .verdict import ActionResult, StepResult, TestResult, Verdict
+
+__all__ = ["TestStandInterpreter", "run_script"]
+
+
+class TestStandInterpreter:
+    """Executes :class:`~repro.core.script.TestScript` objects on a stand."""
+
+    def __init__(
+        self,
+        stand: TestStand,
+        harness: TestHarness,
+        signals: SignalSet,
+        *,
+        policy: str = "first_fit",
+        registry: MethodRegistry | None = None,
+        stop_on_error: bool = False,
+    ):
+        self.stand = stand
+        self.harness = harness
+        self.signals = signals
+        self.registry = registry or stand.registry or default_registry()
+        self.policy = policy
+        self.stop_on_error = stop_on_error
+        self.allocator = Allocator(
+            stand.resources, stand.connections, policy=policy, registry=self.registry
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, script: TestScript) -> TestResult:
+        """Execute *script* and return the collected verdicts."""
+        wall_start = _time.perf_counter()
+        self.allocator.release_all()
+        self.harness.set_ubatt(self.stand.supply_voltage)
+        variables = self._variables()
+
+        missing = [name for name in script.variables if name not in variables]
+        if missing:
+            raise ExecutionError(
+                f"test stand {self.stand.name!r} does not provide variables {missing}"
+            )
+
+        setup_results = tuple(
+            self._perform_action(action, variables) for action in script.setup
+        )
+        steps: list[StepResult] = []
+        simulated = 0.0
+        for step in script.steps:
+            result = self._run_step(step, variables)
+            steps.append(result)
+            simulated += step.duration
+            if self.stop_on_error and result.verdict is Verdict.ERROR:
+                break
+
+        self.allocator.release_all()
+        _ = _time.perf_counter() - wall_start
+        return TestResult(
+            script,
+            self.stand.name,
+            setup=setup_results,
+            steps=steps,
+            duration=simulated,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _variables(self) -> dict[str, float]:
+        variables = dict(self.harness.variables())
+        variables.update(self.stand.variables)
+        variables["ubatt"] = self.stand.supply_voltage
+        return variables
+
+    def _signal_for(self, action: SignalAction) -> Signal:
+        return self.signals.get(action.signal)
+
+    def _is_measurement(self, action: SignalAction) -> bool:
+        if action.method in self.registry:
+            return self.registry.get(action.method).is_measurement
+        return str(action.method).lower().startswith("get")
+
+    def _run_step(self, step: ScriptStep, variables: Mapping[str, float]) -> StepResult:
+        start_time = self.harness.now
+        stimuli = [a for a in step.actions if not self._is_measurement(a)]
+        expectations = [a for a in step.actions if self._is_measurement(a)]
+
+        results: list[ActionResult] = []
+        for action in stimuli:
+            results.append(self._perform_action(action, variables))
+        # Let the step duration elapse before the expectations are evaluated.
+        self.harness.advance(step.duration)
+        for action in expectations:
+            results.append(self._perform_action(action, variables))
+
+        return StepResult(
+            number=step.number,
+            duration=step.duration,
+            actions=tuple(results),
+            remark=step.remark,
+            start_time=start_time,
+        )
+
+    def _perform_action(
+        self, action: SignalAction, variables: Mapping[str, float]
+    ) -> ActionResult:
+        try:
+            signal = self._signal_for(action)
+        except Exception as exc:
+            return ActionResult(action, Verdict.ERROR, error=f"unknown signal: {exc}")
+
+        if action.method.lower() == "wait":
+            duration = float(action.call.param("t", "0") or 0)
+            self.harness.advance(duration)
+            return ActionResult(action, Verdict.PASS)
+
+        open_circuit = self._realise_open_circuit(action, signal, variables)
+        if open_circuit is not None:
+            return open_circuit
+
+        try:
+            allocation = self.allocator.allocate(signal, action.call, variables)
+        except AllocationError as exc:
+            return ActionResult(action, Verdict.ERROR, error=str(exc))
+
+        resource = self.stand.resources.get(allocation.resource)
+        try:
+            outcome = resource.instrument.execute(
+                action.call, signal, allocation.pins, self.harness, dict(variables)
+            )
+        except InstrumentError as exc:
+            return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+        except Exception as exc:  # harness / model errors surface as execution errors
+            return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+
+        verdict = Verdict.PASS if outcome.passed else Verdict.FAIL
+        return ActionResult(action, verdict, outcome=outcome, allocation=allocation)
+
+    def _realise_open_circuit(
+        self, action: SignalAction, signal: Signal, variables: Mapping[str, float]
+    ) -> ActionResult | None:
+        """Realise ``put_r r="INF"`` by simply disconnecting the pin.
+
+        A door in its "Closed" status is an open contact; the cheapest (and
+        physically most faithful) realisation is to not connect any resource
+        at all.  Doing so also frees the resistor decade for other door
+        signals - exactly what a human test-stand operator would do.  The
+        acceptance window still has to allow an open circuit (``r_max`` must
+        be unbounded), otherwise the normal allocation path is used.
+        """
+        import math
+
+        from ..methods import evaluate_parameter, limits_from_params
+
+        if action.method.lower() != "put_r" or signal.is_bus:
+            return None
+        try:
+            requested = evaluate_parameter(dict(action.call.params), "r", variables)
+        except Exception:
+            return None
+        if requested is None or not math.isinf(requested):
+            return None
+        acceptance = limits_from_params(dict(action.call.params), "r", variables)
+        if not math.isinf(acceptance.high):
+            return None
+        self.allocator.release(signal.key)
+        for pin in signal.pins:
+            self.harness.release_resistance(pin)
+        outcome = MethodOutcome(
+            method=action.method,
+            passed=True,
+            observed=math.inf,
+            unit="Ohm",
+            detail=f"realised as open circuit at {'/'.join(signal.pins)}",
+        )
+        return ActionResult(action, Verdict.PASS, outcome=outcome)
+
+
+def run_script(
+    script: TestScript,
+    stand: TestStand,
+    harness: TestHarness,
+    signals: SignalSet,
+    *,
+    policy: str = "first_fit",
+) -> TestResult:
+    """Convenience wrapper: build an interpreter and run one script."""
+    interpreter = TestStandInterpreter(stand, harness, signals, policy=policy)
+    return interpreter.run(script)

@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's example objects and ready-made stands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Compiler
+from repro.paper import (
+    build_paper_harness,
+    compile_paper_script,
+    paper_signal_set,
+    paper_status_table,
+    paper_suite,
+    paper_test_definition,
+)
+from repro.teststand import (
+    TestStandInterpreter,
+    build_big_rack,
+    build_minimal_bench,
+    build_paper_stand,
+)
+
+
+@pytest.fixture
+def signals():
+    """The paper's signal definition sheet as a SignalSet."""
+    return paper_signal_set()
+
+
+@pytest.fixture
+def statuses():
+    """The paper's status table."""
+    return paper_status_table()
+
+
+@pytest.fixture
+def test_definition():
+    """The paper's ten-step test definition sheet."""
+    return paper_test_definition()
+
+
+@pytest.fixture
+def suite():
+    """The complete paper test suite."""
+    return paper_suite()
+
+
+@pytest.fixture
+def script(suite):
+    """The compiled, stand-independent script of the paper's test."""
+    return Compiler().compile_test(suite, "interior_illumination")
+
+
+@pytest.fixture
+def paper_stand():
+    """The paper's test stand (DVM + two resistor decades + CAN)."""
+    return build_paper_stand()
+
+
+@pytest.fixture
+def big_rack():
+    """The generously equipped crossbar rack."""
+    return build_big_rack()
+
+
+@pytest.fixture
+def minimal_bench():
+    """The small hard-wired laboratory bench."""
+    return build_minimal_bench()
+
+
+@pytest.fixture
+def harness():
+    """A fresh interior-light harness (lamp load, CAN database, 12 V)."""
+    return build_paper_harness()
+
+
+@pytest.fixture
+def interpreter(paper_stand, harness, signals):
+    """An interpreter bound to the paper stand and a fresh harness."""
+    return TestStandInterpreter(paper_stand, harness, signals)

@@ -1,0 +1,175 @@
+"""Tests for the signal and status models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SignalError, StatusError
+from repro.core.signals import Signal, SignalDirection, SignalKind, SignalSet
+from repro.core.status import StatusDefinition, StatusTable
+
+
+class TestSignalDirection:
+    @pytest.mark.parametrize("text,expected", [
+        ("in", SignalDirection.INPUT),
+        ("Input", SignalDirection.INPUT),
+        ("out", SignalDirection.OUTPUT),
+        ("OUTPUT", SignalDirection.OUTPUT),
+        ("inout", SignalDirection.BIDIRECTIONAL),
+    ])
+    def test_parse(self, text, expected):
+        assert SignalDirection.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(SignalError):
+            SignalDirection.parse("sideways")
+
+
+class TestSignalKind:
+    @pytest.mark.parametrize("text,expected", [
+        ("analog", SignalKind.ANALOG),
+        ("voltage", SignalKind.ANALOG),
+        ("resistive", SignalKind.RESISTIVE),
+        ("switch", SignalKind.RESISTIVE),
+        ("digital", SignalKind.DIGITAL),
+        ("can", SignalKind.BUS),
+        ("bus", SignalKind.BUS),
+    ])
+    def test_parse(self, text, expected):
+        assert SignalKind.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(SignalError):
+            SignalKind.parse("optical")
+
+
+class TestSignal:
+    def test_pin_signal(self):
+        signal = Signal("DS_FL", SignalDirection.INPUT, SignalKind.RESISTIVE, pins=("DS_FL",))
+        assert signal.is_input and not signal.is_output and not signal.is_bus
+
+    def test_bus_signal_needs_message(self):
+        with pytest.raises(SignalError):
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS)
+
+    def test_pin_signal_needs_pin(self):
+        with pytest.raises(SignalError):
+            Signal("X", SignalDirection.INPUT, SignalKind.ANALOG)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SignalError):
+            Signal("  ", SignalDirection.INPUT, SignalKind.ANALOG, pins=("P",))
+
+    def test_bidirectional_is_both(self):
+        signal = Signal("IO", SignalDirection.BIDIRECTIONAL, SignalKind.DIGITAL, pins=("IO",))
+        assert signal.is_input and signal.is_output
+
+
+class TestSignalSet:
+    def test_paper_signal_set_contents(self, signals):
+        assert len(signals) == 7
+        assert "INT_ILL" in signals
+        assert "int_ill" in signals  # case-insensitive
+        assert signals.get("INT_ILL").pins == ("INT_ILL_F", "INT_ILL_R")
+
+    def test_inputs_and_outputs(self, signals):
+        assert {s.name for s in signals.outputs} == {"INT_ILL"}
+        assert len(signals.inputs) == 6
+
+    def test_duplicate_rejected(self, signals):
+        with pytest.raises(SignalError):
+            signals.add(Signal("INT_ILL", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                               pins=("X",)))
+
+    def test_unknown_lookup_raises(self, signals):
+        with pytest.raises(SignalError):
+            signals.get("NO_SUCH_SIGNAL")
+
+    def test_initial_statuses(self, signals):
+        initial = signals.initial_statuses
+        assert initial["DS_FL"] == "Closed"
+        assert initial["NIGHT"] == "0"
+
+    def test_pins_enumeration(self, signals):
+        pins = signals.pins()
+        assert "DS_FL" in pins and "INT_ILL_F" in pins and "INT_ILL_R" in pins
+
+    def test_signal_for_pin(self, signals):
+        assert signals.signal_for_pin("int_ill_r").name == "INT_ILL"
+        with pytest.raises(SignalError):
+            signals.signal_for_pin("nonexistent")
+
+
+class TestStatusDefinition:
+    def test_from_cells_numeric(self):
+        status = StatusDefinition.from_cells("Ho", "get_u", "u", "UBATT", "1", "0,7", "1,1")
+        assert status.nominal == 1.0
+        assert status.minimum == pytest.approx(0.7)
+        assert status.maximum == pytest.approx(1.1)
+        assert status.is_relative
+
+    def test_from_cells_payload(self):
+        status = StatusDefinition.from_cells("Off", "put_can", "data", nominal="0001B")
+        assert status.nominal is None
+        assert status.nominal_text == "0001B"
+
+    def test_from_cells_inf(self):
+        status = StatusDefinition.from_cells("Closed", "put_r", "r", nominal="INF",
+                                             minimum="5000", d1="5000")
+        assert status.nominal == float("inf")
+        assert status.auxiliary_value("D1") == 5000
+        assert status.auxiliary_value("d2") is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StatusError):
+            StatusDefinition(name="", method="put_r")
+
+    def test_missing_method_rejected(self):
+        with pytest.raises(StatusError):
+            StatusDefinition(name="X", method="  ")
+
+    def test_as_row_roundtrips_key_cells(self):
+        status = StatusDefinition.from_cells("Lo", "get_u", "u", "UBATT", "0", "0", "0,3")
+        row = status.as_row()
+        assert row[0] == "Lo" and row[1] == "get_u" and row[3] == "UBATT"
+
+
+class TestStatusTable:
+    def test_paper_table_contents(self, statuses):
+        assert len(statuses) == 7
+        assert set(statuses.names) == {"Off", "Open", "Closed", "0", "1", "Lo", "Ho"}
+        assert statuses.get("ho").method == "get_u"
+
+    def test_duplicate_rejected(self, statuses):
+        with pytest.raises(StatusError):
+            statuses.add(StatusDefinition.from_cells("Lo", "get_u", "u"))
+
+    def test_unknown_lookup_raises(self, statuses):
+        with pytest.raises(StatusError):
+            statuses.get("Medium")
+
+    def test_methods_and_variables_used(self, statuses):
+        assert set(statuses.methods_used()) == {"put_can", "put_r", "get_u"}
+        assert statuses.variables_used() == ("UBATT",)
+
+    def test_merge_disjoint(self, statuses):
+        extra = StatusTable((StatusDefinition.from_cells("Mid", "get_u", "u", "UBATT",
+                                                         "0.5", "0.4", "0.6"),))
+        merged = statuses.merged_with(extra)
+        assert "Mid" in merged and "Ho" in merged
+        assert len(merged) == 8
+
+    def test_merge_identical_redefinition_ok(self, statuses):
+        merged = statuses.merged_with(StatusTable((statuses.get("Lo"),)))
+        assert len(merged) == 7
+
+    def test_merge_conflicting_raises(self, statuses):
+        conflicting = StatusTable((StatusDefinition.from_cells("Lo", "get_u", "u", "UBATT",
+                                                               "0", "0", "0,5"),))
+        with pytest.raises(StatusError):
+            statuses.merged_with(conflicting)
+
+    def test_rows_shape(self, statuses):
+        rows = statuses.rows()
+        assert len(rows) == 7
+        assert all(len(row) == 10 for row in rows)

@@ -1,0 +1,127 @@
+"""Tests for test steps, test definitions and suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DefinitionError
+from repro.core.testdef import StatusAssignment, TestDefinition, TestStep, TestSuite
+from repro.paper import paper_signal_set, paper_status_table
+
+
+class TestStatusAssignment:
+    def test_str(self):
+        assert str(StatusAssignment("DS_FL", "Open")) == "DS_FL=Open"
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(DefinitionError):
+            StatusAssignment("", "Open")
+
+    def test_empty_status_rejected(self):
+        with pytest.raises(DefinitionError):
+            StatusAssignment("DS_FL", " ")
+
+
+class TestTestStep:
+    def test_basic(self):
+        step = TestStep(0, 0.5, (StatusAssignment("DS_FL", "Open"),), remark="hello")
+        assert step.status_for("ds_fl") == "Open"
+        assert step.status_for("DS_FR") is None
+        assert step.signals == ("DS_FL",)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(DefinitionError):
+            TestStep(0, -1.0)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(DefinitionError):
+            TestStep(-1, 0.5)
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(DefinitionError):
+            TestStep(0, 0.5, (StatusAssignment("A", "x"), StatusAssignment("a", "y")))
+
+    def test_with_assignment_replaces(self):
+        step = TestStep(0, 0.5, (StatusAssignment("A", "x"),))
+        updated = step.with_assignment("A", "y")
+        assert updated.status_for("A") == "y"
+        assert step.status_for("A") == "x"  # original untouched
+
+
+class TestTestDefinition:
+    def test_paper_sheet_shape(self, test_definition):
+        assert len(test_definition) == 10
+        assert test_definition.columns == ("IGN_ST", "DS_FL", "DS_FR", "NIGHT", "INT_ILL")
+        assert test_definition.total_duration == pytest.approx(309.0)
+
+    def test_paper_sheet_step_timing(self, test_definition):
+        durations = [step.duration for step in test_definition]
+        assert durations[7] == 280.0
+        assert durations[8] == 25.0
+        assert durations[0] == 0.5
+
+    def test_statuses_and_signals_used(self, test_definition):
+        assert set(test_definition.statuses_used()) == {"Off", "Closed", "Open", "0", "1", "Lo", "Ho"}
+        assert set(test_definition.signals_used()) == {"IGN_ST", "DS_FL", "DS_FR", "NIGHT", "INT_ILL"}
+
+    def test_rows_match_paper_layout(self, test_definition):
+        rows = test_definition.rows()
+        assert rows[0][0] == "0" and rows[0][1] == "0,5"
+        header = test_definition.header()
+        assert header[0] == "test step" and header[-1] == "remarks"
+        assert len(rows[0]) == len(header)
+
+    def test_add_step_auto_numbers(self):
+        test = TestDefinition("t")
+        test.add_step(0.5, {"A": "x"})
+        test.add_step(1.0, {"A": "y"})
+        assert [step.number for step in test] == [0, 1]
+
+    def test_non_increasing_numbers_rejected(self):
+        test = TestDefinition("t")
+        test.append(TestStep(5, 0.5))
+        with pytest.raises(DefinitionError):
+            test.append(TestStep(5, 0.5))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DefinitionError):
+            TestDefinition("   ")
+
+    def test_validate_against_paper_vocabulary(self, test_definition):
+        test_definition.validate(paper_signal_set(), paper_status_table())
+
+    def test_validate_unknown_signal(self):
+        test = TestDefinition("t")
+        test.add_step(0.5, {"NO_SUCH": "Open"})
+        with pytest.raises(DefinitionError):
+            test.validate(paper_signal_set(), paper_status_table())
+
+    def test_validate_unknown_status(self):
+        test = TestDefinition("t")
+        test.add_step(0.5, {"DS_FL": "HalfOpen"})
+        with pytest.raises(DefinitionError):
+            test.validate(paper_signal_set(), paper_status_table())
+
+
+class TestTestSuite:
+    def test_paper_suite(self, suite):
+        assert suite.dut == "interior_light_ecu"
+        assert len(suite) == 1
+        assert "interior_illumination" in suite
+        suite.validate()
+
+    def test_duplicate_test_rejected(self, suite, test_definition):
+        with pytest.raises(DefinitionError):
+            suite.add(test_definition)
+
+    def test_unknown_test_raises(self, suite):
+        with pytest.raises(DefinitionError):
+            suite.get("nonexistent")
+
+    def test_statuses_used_includes_initial(self, suite):
+        used = set(suite.statuses_used())
+        assert "Closed" in used and "Lo" in used
+
+    def test_empty_dut_rejected(self, signals, statuses):
+        with pytest.raises(DefinitionError):
+            TestSuite("  ", signals, statuses)

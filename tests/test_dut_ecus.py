@@ -1,0 +1,275 @@
+"""Behavioural tests of the ECU models (driven directly, without a test stand)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dut import (
+    CentralLockingEcu,
+    ExteriorLightEcu,
+    InteriorLightEcu,
+    WindowLifterEcu,
+    WiperEcu,
+)
+from repro.dut.pins import OutputDrive, PinKind
+
+
+def _night(ecu, active=True):
+    ecu.receive_message("LIGHT_SENSOR", {"NIGHT": 1.0 if active else 0.0})
+
+
+def _ignition(ecu, level=2):
+    ecu.receive_message("IGN_STATUS", {"IGN_ST": float(level)})
+
+
+class TestInteriorLightEcu:
+    def test_off_by_default(self):
+        ecu = InteriorLightEcu()
+        assert not ecu.illumination_on
+        assert not ecu.output_drive("INT_ILL_F").driven
+
+    def test_door_open_by_day_stays_off(self):
+        ecu = InteriorLightEcu()
+        _night(ecu, False)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        assert not ecu.illumination_on
+
+    def test_door_open_at_night_switches_on(self):
+        ecu = InteriorLightEcu()
+        _night(ecu, True)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        assert ecu.illumination_on
+        assert ecu.output_drive("INT_ILL_F").driven
+        assert ecu.output_drive("INT_ILL_F").level == 1.0
+
+    def test_any_door_triggers(self):
+        for pin in ("DS_FL", "DS_FR", "DS_RL", "DS_RR"):
+            ecu = InteriorLightEcu()
+            _night(ecu)
+            ecu.set_pin_resistance(pin, 1.0)
+            assert ecu.illumination_on, pin
+
+    def test_high_resistance_means_door_closed(self):
+        ecu = InteriorLightEcu()
+        _night(ecu)
+        ecu.set_pin_resistance("DS_FL", 5000.0)
+        assert not ecu.illumination_on
+
+    def test_timeout_after_300s(self):
+        ecu = InteriorLightEcu()
+        _night(ecu)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        ecu.advance_to(299.0)
+        assert ecu.illumination_on
+        ecu.advance_to(301.0)
+        assert not ecu.illumination_on
+
+    def test_closing_door_rearms_timer(self):
+        ecu = InteriorLightEcu()
+        _night(ecu)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        ecu.advance_to(250.0)
+        ecu.set_pin_resistance("DS_FL", math.inf)   # door closed
+        assert not ecu.illumination_on
+        ecu.advance_to(251.0)
+        ecu.set_pin_resistance("DS_FL", 0.5)        # door re-opened
+        ecu.advance_to(500.0)                        # 249 s later: still on
+        assert ecu.illumination_on
+        ecu.advance_to(560.0)                        # > 300 s after re-opening
+        assert not ecu.illumination_on
+
+    def test_reset_clears_state(self):
+        ecu = InteriorLightEcu()
+        _night(ecu)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        assert ecu.illumination_on
+        ecu.reset()
+        assert not ecu.illumination_on
+
+    def test_power_off_floats_outputs(self):
+        ecu = InteriorLightEcu()
+        _night(ecu)
+        ecu.set_pin_resistance("DS_FL", 0.5)
+        ecu.set_power(False)
+        assert not ecu.output_drive("INT_ILL_F").driven
+
+    def test_unknown_message_ignored(self):
+        ecu = InteriorLightEcu()
+        ecu.receive_message("SOME_OTHER", {"X": 1})
+        assert not ecu.illumination_on
+
+    def test_pin_metadata(self):
+        ecu = InteriorLightEcu()
+        assert ecu.pin("DS_FL").kind is PinKind.RESISTIVE_INPUT
+        assert ecu.pin("INT_ILL_F").is_output
+        assert ecu.has_pin("int_ill_r")
+        assert not ecu.has_pin("nonexistent")
+
+
+class TestCentralLockingEcu:
+    def test_lock_unlock_by_can(self):
+        ecu = CentralLockingEcu()
+        assert not ecu.locked
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 1})
+        assert ecu.locked
+        assert ecu.output_drive("LOCK_LED").driven
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 2})
+        assert not ecu.locked
+
+    def test_lock_status_transmitted(self):
+        ecu = CentralLockingEcu()
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 1})
+        transmissions = ecu.pending_transmissions()
+        assert ("lock_status", {"locked": 1.0}) in transmissions
+
+    def test_auto_lock_above_threshold(self):
+        ecu = CentralLockingEcu()
+        _ignition(ecu)
+        ecu.receive_message("VEHICLE_SPEED", {"SPEED": 20.0})
+        assert ecu.locked
+
+    def test_auto_lock_only_once_per_cycle(self):
+        ecu = CentralLockingEcu()
+        _ignition(ecu)
+        ecu.receive_message("VEHICLE_SPEED", {"SPEED": 20.0})
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 2})  # unlock manually
+        ecu.receive_message("VEHICLE_SPEED", {"SPEED": 30.0})
+        assert not ecu.locked  # no second auto lock in the same cycle
+
+    def test_unlock_inhibited_at_speed(self):
+        ecu = CentralLockingEcu()
+        _ignition(ecu)
+        ecu.receive_message("VEHICLE_SPEED", {"SPEED": 20.0})
+        assert ecu.locked
+        ecu.receive_message("VEHICLE_SPEED", {"SPEED": 150.0})
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 2})
+        assert ecu.locked  # unlock refused above 120 km/h
+
+    def test_key_switch_edges(self):
+        ecu = CentralLockingEcu()
+        ecu.set_pin_resistance("KEY_SW", 1.0)
+        assert ecu.locked
+        ecu.set_pin_resistance("KEY_SW", math.inf)
+        assert ecu.locked  # releasing the key does not unlock
+        ecu.set_pin_resistance("UNLOCK_SW", 1.0)
+        assert not ecu.locked
+
+    def test_actuator_pulse_ends(self):
+        ecu = CentralLockingEcu()
+        ecu.receive_message("LOCK_COMMAND", {"LOCK_REQ": 1})
+        assert ecu.output_drive("LOCK_ACT").driven
+        ecu.advance_to(1.0)
+        assert not ecu.output_drive("LOCK_ACT").driven
+
+
+class TestWindowLifterEcu:
+    def test_requires_ignition(self):
+        ecu = WindowLifterEcu()
+        ecu.set_pin_resistance("WIN_SW_DOWN", 1.0)
+        assert not ecu.moving
+
+    def test_opens_and_stops_at_end(self):
+        ecu = WindowLifterEcu()
+        _ignition(ecu)
+        ecu.set_pin_resistance("WIN_SW_DOWN", 1.0)
+        assert ecu.moving
+        ecu.advance_to(5.0)
+        assert ecu.position == pytest.approx(50.0, abs=1.0)
+        ecu.advance_to(60.0)
+        assert ecu.position == 100.0
+        assert not ecu.moving
+
+    def test_both_switches_is_no_request(self):
+        ecu = WindowLifterEcu()
+        _ignition(ecu)
+        ecu.set_pin_resistance("WIN_SW_DOWN", 1.0)
+        ecu.set_pin_resistance("WIN_SW_UP", 1.0)
+        assert not ecu.moving
+
+    def test_position_reported_on_can(self):
+        ecu = WindowLifterEcu()
+        _ignition(ecu)
+        ecu.set_pin_resistance("WIN_SW_DOWN", 1.0)
+        ecu.advance_to(2.0)
+        ecu.set_pin_resistance("WIN_SW_DOWN", math.inf)
+        messages = dict(ecu.pending_transmissions())
+        assert "window_position" in messages
+
+    def test_up_from_open(self):
+        ecu = WindowLifterEcu()
+        _ignition(ecu)
+        ecu.set_pin_resistance("WIN_SW_DOWN", 1.0)
+        ecu.advance_to(4.0)
+        ecu.set_pin_resistance("WIN_SW_DOWN", math.inf)
+        ecu.set_pin_resistance("WIN_SW_UP", 1.0)
+        assert ecu.output_drive("WIN_MOTOR_UP").driven
+        ecu.advance_to(100.0)
+        assert ecu.position == 0.0
+
+
+class TestWiperEcu:
+    def test_continuous_modes(self):
+        ecu = WiperEcu()
+        _ignition(ecu)
+        ecu.receive_message("WIPER_COMMAND", {"WIPER_MODE": 2})
+        assert ecu.motor_running
+        assert not ecu.output_drive("WIPER_FAST").driven
+        ecu.receive_message("WIPER_COMMAND", {"WIPER_MODE": 3})
+        assert ecu.output_drive("WIPER_FAST").driven
+
+    def test_off_without_ignition(self):
+        ecu = WiperEcu()
+        ecu.receive_message("WIPER_COMMAND", {"WIPER_MODE": 2})
+        assert not ecu.motor_running
+
+    def test_interval_pulses(self):
+        ecu = WiperEcu()
+        _ignition(ecu)
+        ecu.receive_message("WIPER_COMMAND", {"WIPER_MODE": 1})
+        assert ecu.motor_running            # first wipe starts immediately
+        ecu.advance_to(2.0)
+        assert not ecu.motor_running        # wipe over, pausing
+        ecu.advance_to(6.5)
+        assert ecu.motor_running            # next interval wipe
+
+    def test_wash_runs_pump_and_after_wipes(self):
+        ecu = WiperEcu()
+        _ignition(ecu)
+        ecu.receive_message("WIPER_COMMAND", {"WASH": 1})
+        assert ecu.output_drive("WASH_PUMP").driven
+        assert ecu.motor_running is False or True  # pump independent of motor state
+        ecu.receive_message("WIPER_COMMAND", {"WASH": 0})
+        assert ecu.motor_running            # follow-up wipes
+        ecu.advance_to(20.0)
+        assert not ecu.motor_running
+
+
+class TestExteriorLightEcu:
+    def test_switch_on_needs_ignition(self):
+        ecu = ExteriorLightEcu()
+        ecu.receive_message("LIGHT_SWITCH", {"LIGHT_SW": 2})
+        assert not ecu.low_beam_on
+        _ignition(ecu)
+        assert ecu.low_beam_on
+
+    def test_auto_mode_follows_night(self):
+        ecu = ExteriorLightEcu()
+        _ignition(ecu)
+        ecu.receive_message("LIGHT_SWITCH", {"LIGHT_SW": 1})
+        assert not ecu.low_beam_on
+        _night(ecu)
+        assert ecu.low_beam_on
+
+    def test_drl_complements_low_beam(self):
+        ecu = ExteriorLightEcu()
+        _ignition(ecu)
+        assert ecu.drl_on
+        ecu.receive_message("LIGHT_SWITCH", {"LIGHT_SW": 2})
+        assert not ecu.drl_on and ecu.low_beam_on
+
+    def test_parking_light_without_ignition(self):
+        ecu = ExteriorLightEcu()
+        ecu.set_pin_resistance("PARK_SW", 1.0)
+        assert ecu.output_drive("POSITION_LIGHT").driven

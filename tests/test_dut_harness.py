@@ -1,0 +1,145 @@
+"""Tests for the DUT harness (electrical + CAN wiring around an ECU model)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import HarnessError
+from repro.dut import InteriorLightEcu, LoadSpec, TestHarness, body_can_database
+from repro.paper import build_paper_harness
+
+
+class TestElectricalPath:
+    def test_lamp_off_reads_near_zero(self, harness):
+        assert harness.measure_voltage(("INT_ILL_F", "INT_ILL_R")) == pytest.approx(0.0, abs=0.1)
+
+    def test_lamp_on_reads_near_ubatt(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        voltage = harness.measure_voltage(("INT_ILL_F", "INT_ILL_R"))
+        assert 0.7 * harness.ubatt <= voltage <= 1.1 * harness.ubatt
+
+    def test_lamp_voltage_scales_with_ubatt(self):
+        readings = {}
+        for ubatt in (9.0, 12.0, 16.0):
+            harness = build_paper_harness(ubatt=ubatt)
+            harness.send_can_signal("NIGHT", 1)
+            harness.apply_resistance("DS_FL", 0.5)
+            readings[ubatt] = harness.measure_voltage(("INT_ILL_F", "INT_ILL_R"))
+        for ubatt, voltage in readings.items():
+            assert 0.9 * ubatt <= voltage <= 1.02 * ubatt
+
+    def test_measure_current_through_lamp(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        current = harness.measure_current("INT_ILL_F")
+        # roughly UBATT / (lamp 6 Ohm + driver 0.2 Ohm + return 0.1 Ohm)
+        assert current == pytest.approx(12.0 / 6.3, rel=0.1)
+
+    def test_measure_current_zero_when_off(self, harness):
+        assert harness.measure_current("INT_ILL_F") == 0.0
+
+    def test_release_resistance_opens_contact(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        assert harness.ecu.illumination_on
+        harness.release_resistance("DS_FL")
+        assert not harness.ecu.illumination_on
+        assert harness.applied_resistance("DS_FL") is None
+
+    def test_measure_resistance(self, harness):
+        assert harness.measure_resistance("DS_FL") == math.inf
+        harness.apply_resistance("DS_FL", 47.0)
+        assert harness.measure_resistance("DS_FL") == 47.0
+
+    def test_unknown_pin_rejected(self, harness):
+        with pytest.raises(HarnessError):
+            harness.apply_resistance("NO_SUCH_PIN", 1.0)
+        with pytest.raises(HarnessError):
+            harness.measure_voltage("NO_SUCH_PIN")
+
+    def test_negative_values_rejected(self, harness):
+        with pytest.raises(HarnessError):
+            harness.apply_resistance("DS_FL", -1.0)
+        with pytest.raises(HarnessError):
+            harness.advance(-0.1)
+        with pytest.raises(HarnessError):
+            harness.set_ubatt(-5.0)
+
+
+class TestCanPath:
+    def test_send_signal_reaches_ecu(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        assert harness.ecu.night
+        harness.send_can_signal("NIGHT", 0)
+        assert not harness.ecu.night
+
+    def test_send_payload_reaches_ecu(self, harness):
+        harness.send_can_payload("IGN_STATUS", 2)
+        assert harness.ecu.ignition == 2
+
+    def test_signal_update_preserves_other_bits(self, harness):
+        harness.send_can_signal("BRIGHTNESS", 42)
+        harness.send_can_signal("NIGHT", 1)
+        # The ECU decodes the full message; both values must survive.
+        assert harness.ecu.rx_signal("LIGHT_SENSOR", "BRIGHTNESS") == 42
+        assert harness.ecu.night
+
+    def test_ecu_transmissions_visible_to_stand(self):
+        from repro.dut import CentralLockingEcu
+
+        harness = TestHarness(CentralLockingEcu(), body_can_database(),
+                              loads=(LoadSpec("LOCK_LED", ohms=500.0),))
+        harness.send_can_payload("LOCK_COMMAND", 1)
+        assert harness.last_can_signal("LOCK_STATUS", "LOCKED") == 1.0
+        assert harness.last_can_payload("LOCK_STATUS") == 1
+
+    def test_missing_db_raises(self):
+        harness = TestHarness(InteriorLightEcu(), None)
+        with pytest.raises(HarnessError):
+            harness.send_can_payload("IGN_STATUS", 1)
+
+
+class TestTimeAndSupply:
+    def test_advance_moves_ecu_time(self, harness):
+        harness.advance(5.0)
+        assert harness.now == 5.0
+        assert harness.ecu.now == 5.0
+
+    def test_timeout_via_harness(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        harness.advance(299.0)
+        assert harness.measure_voltage(("INT_ILL_F", "INT_ILL_R")) > 8.0
+        harness.advance(2.0)
+        assert harness.measure_voltage(("INT_ILL_F", "INT_ILL_R")) < 1.0
+
+    def test_set_ubatt_powers_ecu(self, harness):
+        harness.set_ubatt(0.0)
+        assert not harness.ecu.powered
+        harness.set_ubatt(12.0)
+        assert harness.ecu.powered
+
+    def test_variables(self, harness):
+        harness.advance(2.5)
+        variables = harness.variables()
+        assert variables["ubatt"] == 12.0 and variables["t"] == 2.5
+
+    def test_reset_clears_stimuli(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        harness.reset()
+        assert not harness.ecu.illumination_on
+        assert harness.applied_resistance("DS_FL") is None
+
+    def test_add_load_validates_pins(self, harness):
+        with pytest.raises(HarnessError):
+            harness.add_load(LoadSpec("NO_SUCH", ohms=10.0))
+        harness.add_load(LoadSpec("INT_ILL_F", ohms=100.0))
+        assert len(harness.loads) == 2
+
+    def test_loadspec_validation(self):
+        with pytest.raises(HarnessError):
+            LoadSpec("a", ohms=0.0)

@@ -1,0 +1,188 @@
+"""Tests for the virtual instruments (executed directly against a harness)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import CapabilityError, InstrumentError
+from repro.core.script import MethodCall
+from repro.core.signals import Signal, SignalDirection, SignalKind
+from repro.instruments import (
+    Capability,
+    CanInterface,
+    CurrentProbe,
+    DigitalIo,
+    Dvm,
+    OhmMeter,
+    PowerSupply,
+    ResistorDecade,
+    SignalGenerator,
+)
+
+INT_ILL = Signal("INT_ILL", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                 pins=("INT_ILL_F", "INT_ILL_R"))
+DS_FL = Signal("DS_FL", SignalDirection.INPUT, SignalKind.RESISTIVE, pins=("DS_FL",))
+NIGHT = Signal("NIGHT", SignalDirection.INPUT, SignalKind.BUS, message="LIGHT_SENSOR")
+IGN = Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS, message="IGN_STATUS")
+
+
+class TestCapability:
+    def test_can_serve_nominal(self):
+        cap = Capability("put_r", "r", 0, 1e6, "Ohm")
+        assert cap.can_serve(500.0)
+        assert not cap.can_serve(2e6)
+
+    def test_can_serve_acceptance_window(self):
+        cap = Capability("put_r", "r", 0, 1e6, "Ohm")
+        from repro.core.values import Interval
+        assert cap.can_serve(math.inf, Interval(5000, math.inf))
+        assert not cap.can_serve(math.inf, Interval(2e6, math.inf))
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InstrumentError):
+            Capability("get_u", "u", 10, -10)
+
+    def test_as_row(self):
+        row = Capability("get_u", "u", -60, 60, "V").as_row()
+        assert row == ("get_u", "u", "-60", "60", "V")
+
+
+class TestDvm:
+    def test_measures_lamp_voltage(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        dvm = Dvm("dvm")
+        call = MethodCall("get_u", {"u_min": "(0.7*ubatt)", "u_max": "(1.1*ubatt)"})
+        outcome = dvm.execute(call, INT_ILL, ("INT_ILL_F", "INT_ILL_R"), harness, {"ubatt": 12})
+        assert outcome.passed and outcome.unit == "V"
+        assert 8.4 <= outcome.observed <= 13.2
+
+    def test_fails_outside_limits(self, harness):
+        dvm = Dvm("dvm")
+        call = MethodCall("get_u", {"u_min": "(0.7*ubatt)", "u_max": "(1.1*ubatt)"})
+        outcome = dvm.execute(call, INT_ILL, ("INT_ILL_F", "INT_ILL_R"), harness, {"ubatt": 12})
+        assert not outcome.passed
+
+    def test_rejects_wrong_method_and_missing_pins(self, harness):
+        dvm = Dvm("dvm")
+        with pytest.raises(InstrumentError):
+            dvm.execute(MethodCall("put_r", {"r": "1"}), DS_FL, ("DS_FL",), harness, {})
+        with pytest.raises(InstrumentError):
+            dvm.execute(MethodCall("get_u", {"u_min": "0", "u_max": "1"}), INT_ILL, (), harness, {})
+
+    def test_capability(self):
+        assert Dvm("d").supports("get_u") and not Dvm("d").supports("put_r")
+        with pytest.raises(CapabilityError):
+            Dvm("d").capability_for("put_r")
+
+
+class TestResistorDecade:
+    def test_applies_requested_value(self, harness):
+        decade = ResistorDecade("dec", max_ohms=1e6)
+        call = MethodCall("put_r", {"r": "0.5", "r_min": "0", "r_max": "2"})
+        outcome = decade.execute(call, DS_FL, ("DS_FL",), harness, {})
+        assert outcome.passed
+        assert harness.applied_resistance("DS_FL") == pytest.approx(0.5)
+
+    def test_inf_clamped_to_max_and_checked(self, harness):
+        decade = ResistorDecade("dec", max_ohms=2e5)
+        call = MethodCall("put_r", {"r": "INF", "r_min": "5000", "r_max": "INF"})
+        outcome = decade.execute(call, DS_FL, ("DS_FL",), harness, {})
+        assert outcome.passed
+        assert harness.applied_resistance("DS_FL") == pytest.approx(2e5)
+
+    def test_inf_fails_small_decade(self, harness):
+        decade = ResistorDecade("dec", max_ohms=1000.0)
+        call = MethodCall("put_r", {"r": "INF", "r_min": "5000", "r_max": "INF"})
+        outcome = decade.execute(call, DS_FL, ("DS_FL",), harness, {})
+        assert not outcome.passed
+
+    def test_quantisation(self, harness):
+        decade = ResistorDecade("dec", max_ohms=100.0, resolution=1.0)
+        call = MethodCall("put_r", {"r": "47.4"})
+        outcome = decade.execute(call, DS_FL, ("DS_FL",), harness, {})
+        assert outcome.observed == pytest.approx(47.0)
+
+    def test_missing_parameter_raises(self, harness):
+        with pytest.raises(InstrumentError):
+            ResistorDecade("dec").execute(MethodCall("put_r", {}), DS_FL, ("DS_FL",), harness, {})
+
+
+class TestSupplyAndGenerator:
+    def test_power_supply_applies_voltage(self, harness):
+        psu = PowerSupply("psu", u_max=30.0)
+        outcome = psu.execute(MethodCall("put_u", {"u": "5"}), DS_FL, ("DS_FL",), harness, {})
+        assert outcome.passed and outcome.observed == 5.0
+
+    def test_power_supply_clamps(self, harness):
+        psu = PowerSupply("psu", u_max=10.0)
+        outcome = psu.execute(MethodCall("put_u", {"u": "20"}), DS_FL, ("DS_FL",), harness, {})
+        assert outcome.observed == 10.0
+
+    def test_generator_digital_levels(self, harness):
+        gen = SignalGenerator("gen")
+        outcome = gen.execute(MethodCall("put_digital", {"level": "1"}), DS_FL, ("DS_FL",),
+                              harness, {"ubatt": 12})
+        assert outcome.passed and outcome.observed == 1.0
+
+
+class TestMetersAndDigitalIo:
+    def test_current_probe(self, harness):
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        probe = CurrentProbe("probe")
+        call = MethodCall("get_i", {"i_min": "1", "i_max": "3"})
+        outcome = probe.execute(call, INT_ILL, ("INT_ILL_F",), harness, {})
+        assert outcome.passed
+
+    def test_ohmmeter(self, harness):
+        harness.apply_resistance("DS_FL", 470.0)
+        meter = OhmMeter("ohm")
+        call = MethodCall("get_r", {"r_min": "400", "r_max": "500"})
+        outcome = meter.execute(call, DS_FL, ("DS_FL",), harness, {})
+        assert outcome.passed
+
+    def test_digital_io_roundtrip(self, harness):
+        dio = DigitalIo("dio")
+        dio.execute(MethodCall("put_digital", {"level": "1"}), DS_FL, ("DS_FL",),
+                    harness, {"ubatt": 12})
+        outcome = dio.execute(MethodCall("get_digital", {"level_min": "1", "level_max": "1"}),
+                              DS_FL, ("DS_FL",), harness, {"ubatt": 12})
+        assert outcome.passed
+
+
+class TestCanInterface:
+    def test_put_can_sends_payload(self, harness):
+        can = CanInterface("can")
+        outcome = can.execute(MethodCall("put_can", {"data": "1B"}), NIGHT, (), harness, {})
+        assert outcome.passed
+        assert harness.ecu.night
+
+    def test_put_can_needs_message(self, harness):
+        can = CanInterface("can")
+        with pytest.raises(InstrumentError):
+            can.execute(MethodCall("put_can", {"data": "1B"}), DS_FL, (), harness, {})
+
+    def test_put_can_needs_data(self, harness):
+        can = CanInterface("can")
+        with pytest.raises(InstrumentError):
+            can.execute(MethodCall("put_can", {}), NIGHT, (), harness, {})
+
+    def test_get_can_exact_payload(self):
+        from repro.dut import CentralLockingEcu, LoadSpec, TestHarness, body_can_database
+
+        harness = TestHarness(CentralLockingEcu(), body_can_database(),
+                              loads=(LoadSpec("LOCK_LED", ohms=500.0),))
+        can = CanInterface("can")
+        locked = Signal("LOCKED", SignalDirection.OUTPUT, SignalKind.BUS, message="LOCK_STATUS")
+        harness.send_can_payload("LOCK_COMMAND", 1)
+        outcome = can.execute(MethodCall("get_can", {"data": "1B"}), locked, (), harness, {})
+        assert outcome.passed
+        outcome = can.execute(MethodCall("get_can", {"data": "0B"}), locked, (), harness, {})
+        assert not outcome.passed
+
+    def test_is_bus_interface_flag(self):
+        assert CanInterface("can").is_bus_interface
+        assert not Dvm("dvm").is_bus_interface

@@ -1,0 +1,159 @@
+"""Tests that pin the paper's artefacts: tables, XML snippet, example semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import script_from_string, script_to_string, signal_fragment
+from repro.paper import (
+    PAPER_TEST_NAME,
+    compile_paper_script,
+    paper_status_table,
+    paper_suite,
+    paper_test_definition,
+    paper_xml_snippet_action,
+    render_connection_matrix,
+    render_resource_table,
+    render_status_table,
+    render_test_circuit,
+    render_test_definition_table,
+)
+from repro.teststand import build_paper_stand
+
+
+class TestTable1TestDefinition:
+    def test_row_and_column_counts(self):
+        test = paper_test_definition()
+        assert len(test) == 10
+        assert test.columns == ("IGN_ST", "DS_FL", "DS_FR", "NIGHT", "INT_ILL")
+
+    def test_key_cells_match_paper(self):
+        test = paper_test_definition()
+        rows = {int(row[0]): row for row in test.rows()}
+        header = test.header()
+        col = {name: header.index(name) for name in header}
+        assert rows[0][col["IGN_ST"]] == "Off"
+        assert rows[0][col["NIGHT"]] == "0"
+        assert rows[4][col["NIGHT"]] == "1"
+        assert rows[4][col["INT_ILL"]] == "Ho"
+        assert rows[7][col["dt"]] == "280"
+        assert rows[8][col["dt"]] == "25"
+        assert rows[9][col["INT_ILL"]] == "Lo"
+
+    def test_rendered_table_contains_remarks(self):
+        text = render_test_definition_table()
+        assert "day: no interior" in text
+        assert "off after 300s" in text
+
+
+class TestTable2StatusTable:
+    def test_seven_statuses(self):
+        table = paper_status_table()
+        assert list(table.names) == ["Off", "Open", "Closed", "0", "1", "Lo", "Ho"]
+
+    def test_method_bindings_match_paper(self):
+        table = paper_status_table()
+        assert table.get("Off").method == "put_can"
+        assert table.get("Open").method == "put_r"
+        assert table.get("Closed").method == "put_r"
+        assert table.get("Lo").method == "get_u"
+        assert table.get("Ho").method == "get_u"
+
+    def test_ho_factors(self):
+        ho = paper_status_table().get("Ho")
+        assert ho.variable == "UBATT"
+        assert ho.minimum == pytest.approx(0.7)
+        assert ho.maximum == pytest.approx(1.1)
+
+    def test_lo_factors(self):
+        lo = paper_status_table().get("Lo")
+        assert lo.minimum == 0.0 and lo.maximum == pytest.approx(0.3)
+
+    def test_rendered_table(self):
+        text = render_status_table()
+        assert "put_can" in text and "UBATT" in text and "0001B" in text
+
+
+class TestTable3Resources:
+    def test_paper_rows(self):
+        rows = build_paper_stand().resource_rows()
+        dvm = next(row for row in rows if row[0] == "Ress1")
+        assert dvm[1:4] == ("get_u", "u", "-60") and dvm[4] == "60" and dvm[5] == "V"
+        dec1 = next(row for row in rows if row[0] == "Ress2")
+        assert dec1[1] == "put_r" and dec1[4] == "1000000"
+        dec2 = next(row for row in rows if row[0] == "Ress3")
+        assert dec2[4] == "200000"
+
+    def test_rendered_table(self):
+        text = render_resource_table()
+        assert "Ress1" in text and "Ohm" in text
+
+
+class TestTable4ConnectionMatrix:
+    def test_all_paper_cells(self):
+        stand = build_paper_stand()
+        rows = {row[0]: row for row in stand.connection_rows()}
+        header = stand.connections.header(
+            ("INT_ILL_F", "INT_ILL_R", "DS_FL", "DS_FR", "DS_RL", "DS_RR"))
+        col = {name: header.index(name) for name in header[1:]}
+        assert rows["Ress1"][col["INT_ILL_F"]] == "Sw1.1"
+        assert rows["Ress1"][col["INT_ILL_R"]] == "Sw1.2"
+        for index, pin in enumerate(("DS_FL", "DS_FR", "DS_RL", "DS_RR"), start=1):
+            assert rows["Ress2"][col[pin]] == f"Mx{index}.2"
+            assert rows["Ress3"][col[pin]] == f"Mx{index}.1"
+
+    def test_rendered_matrix(self):
+        text = render_connection_matrix()
+        assert "Mx1.2" in text and "Sw1.1" in text
+
+
+class TestFigure1Circuit:
+    def test_rendering_reflects_stand(self):
+        text = render_test_circuit()
+        assert "Ress1" in text and "INT_ILL_F" in text
+        assert "CAN bus" in text
+        assert "DS_RR" in text
+
+    def test_rendering_derives_from_connection_matrix(self):
+        stand = build_paper_stand()
+        text = render_test_circuit(stand)
+        for route in stand.connections:
+            assert route.connector.label in text
+
+
+class TestXmlSnippet:
+    def test_fragment_matches_paper(self):
+        fragment = signal_fragment(paper_xml_snippet_action())
+        assert fragment.splitlines()[0] == '<signal name="int_ill">'
+        assert 'u_max="(1.1*ubatt)"' in fragment and 'u_min="(0.7*ubatt)"' in fragment
+
+    def test_generated_script_contains_equivalent_statement(self):
+        script = compile_paper_script()
+        text = script_to_string(script)
+        assert '<signal name="int_ill">' in text
+        assert 'u_min="(0.7*ubatt)"' in text and 'u_max="(1.1*ubatt)"' in text
+        # Round-trip: the generated XML re-parses to the identical script.
+        assert script_from_string(text) == script
+
+    def test_ho_step_action_semantics(self):
+        script = compile_paper_script()
+        action = script.steps[4].actions_for("int_ill")[0]
+        limits_low = action.call.param("u_min")
+        assert limits_low == "(0.7*ubatt)"
+        paper_action = paper_xml_snippet_action()
+        assert dict(action.call.params) == dict(paper_action.call.params)
+
+
+class TestSuiteBundle:
+    def test_suite_name_and_validation(self):
+        suite = paper_suite()
+        assert PAPER_TEST_NAME in suite
+        suite.validate()
+
+    def test_workbook_rendering(self):
+        from repro.paper import paper_workbook
+
+        workbook = paper_workbook()
+        assert {"signals", "status"} <= {name.lower() for name in workbook.sheet_names}
+        text = workbook.get("test_interior_illumination").to_text()
+        assert "Ho" in text and "280" in text

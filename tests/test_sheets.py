@@ -1,0 +1,205 @@
+"""Tests for the worksheet front-end (grids, CSV, the three sheet types, workbooks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SheetError
+from repro.paper import paper_suite, paper_workbook
+from repro.sheets import (
+    Workbook,
+    Worksheet,
+    build_signal_sheet,
+    build_status_sheet,
+    build_test_sheet,
+    cell_reference,
+    load_suite,
+    parse_cell_reference,
+    parse_signal_sheet,
+    parse_status_sheet,
+    parse_test_sheet,
+    save_suite,
+    suite_to_workbook,
+    workbook_to_suite,
+    worksheet_from_csv,
+    worksheet_to_csv,
+)
+
+
+class TestCellReferences:
+    @pytest.mark.parametrize("ref,expected", [
+        ("A1", (0, 0)),
+        ("B3", (2, 1)),
+        ("Z1", (0, 25)),
+        ("AA1", (0, 26)),
+        ("c10", (9, 2)),
+    ])
+    def test_parse(self, ref, expected):
+        assert parse_cell_reference(ref) == expected
+
+    def test_invalid_reference(self):
+        with pytest.raises(SheetError):
+            parse_cell_reference("1A")
+        with pytest.raises(SheetError):
+            parse_cell_reference("A0")
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_roundtrip(self, row, column):
+        assert parse_cell_reference(cell_reference(row, column)) == (row, column)
+
+
+class TestWorksheet:
+    def test_growing_grid(self):
+        sheet = Worksheet("s")
+        sheet.set(2, 3, "x")
+        assert sheet.get(2, 3) == "x"
+        assert sheet.get(0, 0) == ""
+        assert sheet.row_count == 3 and sheet.column_count == 4
+
+    def test_reference_addressing(self):
+        sheet = Worksheet("s")
+        sheet.set_reference("B2", 5)
+        assert sheet.get_reference("B2") == "5"
+
+    def test_rows_padded(self):
+        sheet = Worksheet("s", [["a"], ["b", "c"]])
+        assert list(sheet.rows()) == [("a", ""), ("b", "c")]
+
+    def test_find_header(self):
+        sheet = Worksheet("s", [["junk"], ["status", "method", "nom"], ["Lo", "get_u", "0"]])
+        row, columns = sheet.find_header("status", "method")
+        assert row == 1 and columns["method"] == 1
+
+    def test_find_header_missing_raises(self):
+        sheet = Worksheet("s", [["a", "b"]])
+        with pytest.raises(SheetError):
+            sheet.find_header("status", "method")
+
+    def test_is_empty_row_and_column(self):
+        sheet = Worksheet("s", [["", " "], ["a", "b"]])
+        assert sheet.is_empty_row(0) and not sheet.is_empty_row(1)
+        assert sheet.column(1) == (" ", "b")
+
+    def test_to_text_alignment(self):
+        sheet = Worksheet("s", [["ab", "c"], ["d", "efg"]])
+        text = sheet.to_text()
+        assert "ab | c" in text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SheetError):
+            Worksheet("  ")
+
+
+class TestCsvIo:
+    def test_roundtrip_comma(self):
+        sheet = Worksheet("s", [["a", "b,with,commas"], ["1", "2"]])
+        text = worksheet_to_csv(sheet)
+        parsed = worksheet_from_csv(text, "s")
+        assert parsed == sheet
+
+    def test_semicolon_sniffing(self):
+        text = "status;method;nom\nLo;get_u;0\n"
+        sheet = worksheet_from_csv(text, "status")
+        assert sheet.get(0, 1) == "method"
+        assert sheet.get(1, 1) == "get_u"
+
+    @given(st.lists(st.lists(st.text(alphabet=st.characters(blacklist_categories=("Cs",),
+                                                            blacklist_characters="\r\n"),
+                                     max_size=12),
+                             min_size=1, max_size=5),
+                    min_size=1, max_size=8))
+    def test_roundtrip_random_grids(self, rows):
+        width = max(len(row) for row in rows)
+        padded = [row + [""] * (width - len(row)) for row in rows]
+        sheet = Worksheet("random", padded)
+        # The delimiter is given explicitly: sniffing is only a convenience
+        # for files whose cells do not themselves contain the other delimiter.
+        text = worksheet_to_csv(sheet, delimiter=",")
+        assert worksheet_from_csv(text, "random", delimiter=",") == sheet
+
+
+class TestSheetParsing:
+    def test_signal_sheet_roundtrip(self, signals):
+        sheet = build_signal_sheet(signals)
+        parsed = parse_signal_sheet(sheet, dut=signals.dut)
+        assert parsed.names == signals.names
+        assert parsed.get("INT_ILL").pins == ("INT_ILL_F", "INT_ILL_R")
+        assert parsed.get("IGN_ST").message == "IGN_STATUS"
+        assert parsed.initial_statuses == signals.initial_statuses
+
+    def test_status_sheet_roundtrip(self, statuses):
+        sheet = build_status_sheet(statuses)
+        parsed = parse_status_sheet(sheet)
+        assert parsed.names == statuses.names
+        assert parsed.get("Ho").variable == "UBATT"
+        assert parsed.get("Closed").nominal == float("inf")
+        assert parsed.get("Off").nominal_text == "0001B"
+
+    def test_test_sheet_roundtrip(self, test_definition):
+        sheet = build_test_sheet(test_definition)
+        parsed = parse_test_sheet(sheet, name=test_definition.name)
+        assert len(parsed) == len(test_definition)
+        assert parsed.columns == test_definition.columns
+        assert parsed.steps[4].status_for("NIGHT") == "1"
+        assert parsed.steps[7].duration == 280.0
+
+    def test_signal_sheet_missing_name_raises(self):
+        sheet = Worksheet("signals", [["signal", "direction", "kind"], ["", "in", "analog"]])
+        with pytest.raises(SheetError):
+            parse_signal_sheet(sheet)
+
+    def test_status_sheet_missing_method_raises(self):
+        sheet = Worksheet("status", [["status", "method"], ["Lo", ""]])
+        with pytest.raises(SheetError):
+            parse_status_sheet(sheet)
+
+    def test_test_sheet_bad_step_number_raises(self):
+        sheet = Worksheet("test_x", [["test step", "dt", "A", "remarks"],
+                                     ["one", "0,5", "Open", ""]])
+        with pytest.raises(SheetError):
+            parse_test_sheet(sheet)
+
+    def test_test_sheet_without_header_raises(self):
+        sheet = Worksheet("test_x", [["nothing", "here"]])
+        with pytest.raises(SheetError):
+            parse_test_sheet(sheet)
+
+
+class TestWorkbook:
+    def test_paper_workbook_sheets(self):
+        workbook = paper_workbook()
+        assert "signals" in workbook and "status" in workbook
+        assert len(workbook.test_sheets) == 1
+
+    def test_workbook_suite_roundtrip(self, suite):
+        workbook = suite_to_workbook(suite)
+        rebuilt = workbook_to_suite(workbook)
+        assert rebuilt.dut == suite.dut
+        assert rebuilt.names == suite.names
+        assert rebuilt.statuses.names == suite.statuses.names
+        original = suite.get("interior_illumination")
+        parsed = rebuilt.get("interior_illumination")
+        assert [step.duration for step in parsed] == [step.duration for step in original]
+        assert [step.assignments for step in parsed] == [step.assignments for step in original]
+
+    def test_save_and_load_directory(self, suite, tmp_path):
+        directory = str(tmp_path / "workbook")
+        save_suite(suite, directory)
+        rebuilt = load_suite(directory, name=suite.dut)
+        assert rebuilt.dut == suite.dut
+        assert rebuilt.names == suite.names
+
+    def test_duplicate_sheet_rejected(self):
+        workbook = Workbook("wb")
+        workbook.add(Worksheet("signals"))
+        with pytest.raises(SheetError):
+            workbook.add(Worksheet("signals"))
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SheetError):
+            Workbook.load(str(tmp_path / "does_not_exist"))
+
+    def test_unknown_sheet_raises(self):
+        with pytest.raises(SheetError):
+            Workbook("wb").get("status")

@@ -11,13 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dut import InteriorLightEcu, LoadSpec, TestHarness, body_can_database
-
-
-def interior_harness(ecu=None) -> TestHarness:
-    """The paper's wiring (lamp between INT_ILL_F and INT_ILL_R) around an ECU."""
-    return TestHarness(ecu or InteriorLightEcu(), body_can_database(),
-                       loads=(LoadSpec("INT_ILL_F", "INT_ILL_R", 6.0),))
+# Re-exported so the benchmarks keep one import point for the paper wiring.
+from repro.paper import interior_harness  # noqa: F401
 
 
 @pytest.fixture

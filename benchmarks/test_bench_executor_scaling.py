@@ -1,0 +1,70 @@
+"""A3 - campaign scaling: serial vs. parallel executor backends.
+
+The extended suite (4 sheets) against the interior-light fault catalogue
+(baseline + 9 faults) expands to 40 independent jobs.  The benchmark runs
+the identical job list on the serial backend and on thread pools of growing
+width, records the wall time per backend, and asserts the core determinism
+property: the aggregated verdict table is byte-identical no matter which
+backend executed the campaign.
+
+(The virtual stands are pure Python, so thread speedups are bounded by the
+interpreter lock; the point of the measurement is the scaling *trend* and
+the determinism guarantee, which carry over to process pools and future
+async stands.)
+"""
+
+from __future__ import annotations
+
+from conftest import interior_harness
+
+from repro.analysis import FaultCampaign, interior_light_faults
+from repro.core import Compiler
+from repro.dut import InteriorLightEcu
+from repro.paper import extended_suite, paper_signal_set
+from repro.teststand import SerialExecutor, ThreadExecutor, build_paper_stand, format_table
+
+
+def _campaign() -> FaultCampaign:
+    scripts = Compiler().compile_suite(extended_suite())
+    return FaultCampaign(scripts, paper_signal_set(), build_paper_stand,
+                         interior_harness, InteriorLightEcu)
+
+
+def _sweep():
+    campaign = _campaign()
+    executors = [SerialExecutor(), ThreadExecutor(2), ThreadExecutor(4)]
+    runs = []
+    for executor in executors:
+        result = campaign.run(interior_light_faults(), executor=executor)
+        runs.append((executor, result))
+    return runs
+
+
+def test_serial_vs_parallel_campaign(benchmark, print_block):
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    tables = {result.table() for _, result in runs}
+    verdict_tables = {result.execution.verdict_table() for _, result in runs}
+    # Determinism: every backend produced the byte-identical aggregates.
+    assert len(tables) == 1
+    assert len(verdict_tables) == 1
+    for _, result in runs:
+        assert result.baseline_clean
+        assert result.detection_rate == 1.0
+        assert len(result.execution) == 40
+
+    rows = []
+    for executor, result in runs:
+        execution = result.execution
+        rows.append((
+            f"{execution.backend} x{execution.workers}",
+            str(len(execution)),
+            f"{execution.wall_time * 1e3:.1f} ms",
+            f"{execution.job_seconds * 1e3:.1f} ms",
+            f"{execution.speedup:.2f}x",
+        ))
+    print_block(
+        "A3: fault campaign (40 jobs) on serial vs. parallel backends",
+        format_table(("backend", "jobs", "wall", "sum of jobs", "speedup"), rows)
+        + "\n\nidentical verdict tables on every backend: True",
+    )

@@ -4,37 +4,49 @@ The same XML text compiled from the paper's sheet is executed on three very
 different virtual stands (the paper's stand, a big crossbar rack, a minimal
 hand-wired bench) with different instruments, wiring and supply voltages.
 The claim holds if every stand reports the identical PASS verdict while using
-its own resources.  The benchmark measures one execution per stand.
+its own resources.  The per-stand runs are expressed as one executor batch
+(:func:`repro.teststand.run_across_stands`); the benchmark measures one
+serial batch of three executions.
 """
 
 from __future__ import annotations
 
+from conftest import interior_harness
+
 from repro.core import script_from_string, script_to_string
-from repro.paper import build_paper_harness, compile_paper_script, paper_signal_set
+from repro.dut import InteriorLightEcu
+from repro.paper import compile_paper_script, paper_signal_set
 from repro.teststand import (
-    TestStandInterpreter,
     build_big_rack,
     build_minimal_bench,
     build_paper_stand,
     format_table,
+    run_across_stands,
 )
 
-STAND_BUILDERS = (build_paper_stand, build_big_rack, build_minimal_bench)
+STAND_BUILDERS = {
+    "paper": build_paper_stand,
+    "big_rack": build_big_rack,
+    "minimal": build_minimal_bench,
+}
 
 
 def _run_everywhere():
     xml_text = script_to_string(compile_paper_script())
-    results = []
-    for builder in STAND_BUILDERS:
-        stand = builder()
-        harness = build_paper_harness(ubatt=stand.supply_voltage)
-        interpreter = TestStandInterpreter(stand, harness, paper_signal_set())
-        results.append((stand, interpreter.run(script_from_string(xml_text))))
-    return results
+    return run_across_stands(
+        script_from_string(xml_text),
+        paper_signal_set(),
+        STAND_BUILDERS,
+        interior_harness,
+        InteriorLightEcu,
+    )
 
 
 def test_portability_across_stands(benchmark, print_block):
-    results = benchmark(_run_everywhere)
+    report = benchmark(_run_everywhere)
+    # Display-only stand metadata is built outside the measured callable.
+    results = [(STAND_BUILDERS[job_result.job.stand_label](), job_result.result)
+               for job_result in report]
 
     assert len(results) == 3
     assert all(result.passed for _, result in results)

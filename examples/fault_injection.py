@@ -12,38 +12,51 @@ ignored door contact, ...) and measures how many of them
 The gap between the two is exactly the knowledge-accumulation effect the
 paper argues for: the original sheet misses the ignored front-right door
 because it only ever exercises that door by day.
+
+Every (script x fault) pair is an independent job, so the campaign runs on
+any executor backend - try ``--jobs 4`` or ``--backend process`` and note
+that the verdict tables do not change, only the wall time does.
 """
+
+import argparse
 
 from repro.analysis import FaultCampaign, interior_light_faults
 from repro.core import Compiler
-from repro.dut import InteriorLightEcu, LoadSpec, TestHarness, body_can_database
-from repro.paper import extended_suite, paper_signal_set, paper_suite
-from repro.teststand import build_paper_stand
+from repro.dut import InteriorLightEcu
+from repro.paper import extended_suite, interior_harness, paper_signal_set, paper_suite
+from repro.teststand import EXECUTION_BACKENDS, build_paper_stand, make_executor
 
 
-def interior_harness(ecu):
-    """Wire the (possibly faulty) ECU exactly like the paper's test circuit."""
-    return TestHarness(ecu, body_can_database(),
-                       loads=(LoadSpec("INT_ILL_F", "INT_ILL_R", 6.0),))
-
-
-def run_campaign(suite, label: str):
+def run_campaign(suite, label: str, executor):
     scripts = Compiler().compile_suite(suite)
     campaign = FaultCampaign(scripts, paper_signal_set(), build_paper_stand,
-                             interior_harness, InteriorLightEcu)
+                             interior_harness, InteriorLightEcu,
+                             executor=executor)
     result = campaign.run(interior_light_faults())
     print("=" * 78)
     print(f"{label}: {len(scripts)} test sheet(s)")
     print("=" * 78)
     print(result.table())
     print(result.summary())
+    if result.execution is not None:
+        print(result.execution.summary())
     print()
     return result
 
 
 def main() -> None:
-    paper_result = run_campaign(paper_suite(), "paper suite (the original sheet)")
-    extended_result = run_campaign(extended_suite(), "extended suite (accumulated knowledge)")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker count (default: 1 = serial)")
+    parser.add_argument("--backend", choices=EXECUTION_BACKENDS + ("auto",),
+                        default="auto", help="execution backend")
+    args = parser.parse_args()
+    executor = make_executor(args.backend, args.jobs)
+
+    paper_result = run_campaign(paper_suite(),
+                                "paper suite (the original sheet)", executor)
+    extended_result = run_campaign(extended_suite(),
+                                   "extended suite (accumulated knowledge)", executor)
 
     print(f"detection rate, paper sheet only : {paper_result.detection_rate:.0%}")
     print(f"detection rate, extended suite   : {extended_result.detection_rate:.0%}")

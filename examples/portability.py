@@ -12,35 +12,59 @@ The script compiled from the paper's sheet is executed, byte-identically, on
 * a big HIL rack (many instruments behind a full crossbar, 13.5 V),
 * a minimal hand-wired bench (handheld DVM, two small decades, 12.5 V),
 
-and the verdict table plus the per-stand resource choices are printed.
+and the verdict table plus the per-stand resource choices are printed.  The
+per-stand runs are independent jobs, so the whole portability experiment is
+one :func:`repro.teststand.run_across_stands` batch - pass ``--jobs N`` to
+fan it out over a thread pool.
 """
 
+import argparse
+
 from repro.core import script_to_string
-from repro.paper import build_paper_harness, compile_paper_script, paper_signal_set
+from repro.dut import InteriorLightEcu
+from repro.paper import compile_paper_script, interior_harness, paper_signal_set
 from repro.teststand import (
-    TestStandInterpreter,
     build_big_rack,
     build_minimal_bench,
     build_paper_stand,
     campaign_summary,
     format_table,
+    make_executor,
+    run_across_stands,
 )
+
+STAND_BUILDERS = {
+    "paper_stand": build_paper_stand,
+    "big_rack": build_big_rack,
+    "minimal_bench": build_minimal_bench,
+}
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker count (default: 1 = serial)")
+    args = parser.parse_args()
+
     script = compile_paper_script()
     xml_text = script_to_string(script)
     print(f"generated script: {script.name}, {len(script.steps)} steps, "
           f"{len(xml_text.splitlines())} lines of XML\n")
 
-    results = []
+    report = run_across_stands(
+        script,
+        paper_signal_set(),
+        STAND_BUILDERS,
+        interior_harness,
+        InteriorLightEcu,
+        executor=make_executor("auto", args.jobs),
+    )
+
+    display_stands = {label: builder() for label, builder in STAND_BUILDERS.items()}
     rows = []
-    for builder in (build_paper_stand, build_big_rack, build_minimal_bench):
-        stand = builder()
-        harness = build_paper_harness(ubatt=stand.supply_voltage)
-        interpreter = TestStandInterpreter(stand, harness, paper_signal_set())
-        result = interpreter.run(script)
-        results.append(result)
+    for job_result in report:
+        stand = display_stands[job_result.job.stand_label]
+        result = job_result.result
         rows.append((
             stand.name,
             f"{stand.supply_voltage:g} V",
@@ -51,9 +75,10 @@ def main() -> None:
 
     print(format_table(("stand", "UBATT", "#resources", "resources used", "verdict"), rows))
     print()
-    print(campaign_summary(results))
+    print(campaign_summary(report.test_results()))
     print()
-    identical = len({result.verdict for result in results}) == 1
+    print(report.summary())
+    identical = len({result.verdict for result in report.test_results()}) == 1
     print("same XML script, identical verdicts on all stands:", identical)
 
 

@@ -1,9 +1,25 @@
-"""Compatibility shim so `python setup.py develop` works on older setuptools.
+"""Packaging metadata and the console entry points.
 
-The project metadata lives in pyproject.toml; this file only exists because
-the offline environment ships a setuptools without the `wheel` package,
-which PEP 660 editable installs require.
+Kept as a plain ``setup.py`` (instead of pyproject metadata) because the
+offline environment ships a setuptools without the ``wheel`` package, which
+PEP 660 editable installs require; ``python setup.py develop`` still works.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of 'A New Approach to Component Testing' "
+                "(Brinkmeyer, DATE 2005)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-compile=repro.cli:main_compile",
+            "repro-run=repro.cli:main_run",
+            "repro-report=repro.cli:main_report",
+            "repro-campaign=repro.cli:main_campaign",
+        ],
+    },
+)

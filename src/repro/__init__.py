@@ -16,7 +16,13 @@ The package is organised along the paper's own split between test
 ``repro.methods``
     the shared method vocabulary (``put_r``, ``get_u``, ``put_can``, ...).
 ``repro.teststand``
-    resources, connection matrix, allocation, interpreter, reports.
+    resources, connection matrix, allocation, interpreter, reports, and the
+    job-based campaign executor: because compiled scripts are
+    stand-independent and every run uses a fresh DUT/harness/stand, the
+    (scripts x stands x fault models) cross product expands into independent
+    ``Job`` specs that run on interchangeable serial / thread / process
+    backends with a deterministic, insertion-ordered verdict aggregate
+    (``repro-campaign <workbook dir> --jobs N`` on the command line).
 ``repro.instruments``
     virtual instruments (DVM, resistor decade, power supply, CAN ...).
 ``repro.dut``

@@ -4,27 +4,36 @@ A campaign answers the question the paper's motivation raises: *do the
 preserved test cases actually catch the bugs that have occurred in the
 past?*  For every fault model the campaign executes every script of the
 suite on a fresh faulty ECU and records whether any step failed.
+
+Execution is delegated to the job-based engine in
+:mod:`repro.teststand.executor`: the campaign expands into one job per
+(script x ECU variant), and any backend - serial, thread pool or process
+pool - produces the identical, insertion-ordered verdict aggregate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Sequence
 
+from ..core.errors import ReproError
 from ..core.script import TestScript
 from ..core.signals import SignalSet
 from ..dut.base import EcuModel
 from ..dut.harness import TestHarness
-from ..teststand.interpreter import TestStandInterpreter
+from ..teststand.executor import ExecutionReport, Executor, expand_jobs, run_jobs
 from ..teststand.report import format_table
 from ..teststand.stands import TestStand
-from ..teststand.verdict import TestResult, Verdict
-from .faults import FaultCatalogue, FaultModel
+from ..teststand.verdict import TestResult
+from .faults import FaultModel
 
 __all__ = ["FaultRunOutcome", "CampaignResult", "FaultCampaign"]
 
 HarnessFactory = Callable[[EcuModel], TestHarness]
 StandFactory = Callable[[], TestStand]
+
+#: Group label of the healthy-ECU jobs in the expanded campaign.
+BASELINE_GROUP = "baseline"
 
 
 @dataclass(frozen=True)
@@ -56,9 +65,14 @@ class CampaignResult:
         self,
         baseline: tuple[TestResult, ...],
         outcomes: Sequence[FaultRunOutcome],
+        *,
+        execution: ExecutionReport | None = None,
     ):
         self.baseline = baseline
         self.outcomes = tuple(outcomes)
+        #: Execution metadata (backend, wall time, retries); None for results
+        #: assembled outside the executor.
+        self.execution = execution
 
     @property
     def baseline_clean(self) -> bool:
@@ -103,7 +117,14 @@ class CampaignResult:
 
 
 class FaultCampaign:
-    """Runs a set of scripts against a healthy ECU and a fault catalogue."""
+    """Runs a set of scripts against a healthy ECU and a fault catalogue.
+
+    The campaign itself only *describes* the work; the (scripts x ECU
+    variants) cross product is expanded into independent jobs and handed to
+    an :class:`~repro.teststand.executor.Executor`.  Passing a parallel
+    executor changes the wall time, never the verdicts: results are
+    re-assembled in catalogue order.
+    """
 
     def __init__(
         self,
@@ -114,6 +135,8 @@ class FaultCampaign:
         healthy_factory: Callable[[], EcuModel],
         *,
         policy: str = "first_fit",
+        executor: Executor | None = None,
+        max_attempts: int = 2,
     ):
         self.scripts = tuple(scripts)
         self.signals = signals
@@ -121,26 +144,48 @@ class FaultCampaign:
         self.harness_factory = harness_factory
         self.healthy_factory = healthy_factory
         self.policy = policy
+        self.executor = executor
+        self.max_attempts = max_attempts
 
-    def _run_all(self, ecu_factory: Callable[[], EcuModel]) -> tuple[TestResult, ...]:
-        results = []
-        for script in self.scripts:
-            # A fresh ECU, harness, stand and interpreter per script keeps
-            # runs independent, like re-cabling the bench between tests.
-            ecu = ecu_factory()
-            harness = self.harness_factory(ecu)
-            stand = self.stand_factory()
-            interpreter = TestStandInterpreter(
-                stand, harness, self.signals, policy=self.policy
-            )
-            results.append(interpreter.run(script))
-        return tuple(results)
+    def _expand(self, faults: Sequence[FaultModel]):
+        """One job per (ECU variant x script): baseline first, catalogue order."""
+        groups: dict[str, Callable[[], EcuModel]] = {BASELINE_GROUP: self.healthy_factory}
+        for fault in faults:
+            if fault.name in groups:
+                raise ReproError(
+                    f"fault model name {fault.name!r} collides with another "
+                    "campaign group"
+                )
+            groups[fault.name] = fault.build
+        return expand_jobs(
+            self.scripts,
+            self.signals,
+            {"": self.stand_factory},
+            self.harness_factory,
+            groups,
+            policy=self.policy,
+        )
 
-    def run(self, faults: FaultCatalogue | Iterable[FaultModel]) -> CampaignResult:
+    def run(
+        self,
+        faults: Iterable[FaultModel],
+        *,
+        executor: Executor | None = None,
+    ) -> CampaignResult:
         """Execute the campaign and return its aggregated result."""
-        baseline = self._run_all(self.healthy_factory)
+        catalogue = tuple(faults)
+        report = run_jobs(
+            self._expand(catalogue),
+            executor or self.executor,
+            max_attempts=self.max_attempts,
+        )
+        report.test_results()  # raise early when a job failed terminally
+        by_group = report.by_group()
+        baseline = tuple(jr.result for jr in by_group.get(BASELINE_GROUP, ()))
         outcomes = [
-            FaultRunOutcome(fault, self._run_all(fault.build))
-            for fault in faults
+            FaultRunOutcome(
+                fault, tuple(jr.result for jr in by_group.get(fault.name, ()))
+            )
+            for fault in catalogue
         ]
-        return CampaignResult(baseline, outcomes)
+        return CampaignResult(baseline, outcomes, execution=report)

@@ -216,8 +216,12 @@ def central_locking_faults() -> FaultCatalogue:
                        _LockIgnoresCanCommand),
             FaultModel("no_auto_lock", "speed-dependent auto lock missing",
                        _LockNoAutoLock),
+            # The bundled locking suite never requests an unlock above
+            # 120 km/h, so the missing inhibition slips through - the same
+            # knowledge gap the paper's ignores_ds_fr example illustrates:
+            # a future sheet has to be added to catch it.
             FaultModel("unlocks_at_speed", "unlock inhibition at speed missing",
-                       _LockUnlocksAtSpeed),
+                       _LockUnlocksAtSpeed, expected_detected=False),
             FaultModel("led_stuck_off", "lock LED output broken",
                        _LockLedStuckOff),
         ),

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Three small tools mirror the paper's workflow:
+Four small tools mirror the paper's workflow:
 
 ``repro-compile <workbook dir> <output dir>``
     read a CSV workbook (signal / status / test sheets) and generate one XML
@@ -10,7 +10,12 @@ Three small tools mirror the paper's workflow:
     against the matching simulated DUT and print the report,
 ``repro-report <script.xml>``
     print a static summary of a script (signals, methods, duration) without
-    executing it.
+    executing it,
+``repro-campaign <workbook dir> [--stand NAME] [--jobs N] [--faults A,B]``
+    compile the workbook and run the full fault-injection campaign for its
+    DUT across a configurable worker pool.  The verdict tables on stdout are
+    byte-identical for any ``--jobs`` / ``--backend`` combination; timing
+    goes to stderr.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 from .core.xmlgen import write_script
 from .core.xmlparse import read_script
@@ -30,13 +35,22 @@ from .dut.interior_light import InteriorLightEcu
 from .dut.messages import body_can_database
 from .dut.window_lifter import WindowLifterEcu
 from .dut.wiper import WiperEcu
-from .paper.example import build_paper_harness, paper_signal_set
+from .analysis.campaign import FaultCampaign
+from .analysis.faults import (
+    FaultCatalogue,
+    central_locking_faults,
+    interior_light_faults,
+)
+from .paper.example import build_paper_harness, interior_harness, paper_signal_set
+from .paper.extended import locking_signal_set
 from .sheets.workbook import load_suite
+from .teststand.allocator import ALLOCATION_POLICIES
+from .teststand.executor import EXECUTION_BACKENDS, make_executor
 from .teststand.interpreter import TestStandInterpreter
 from .teststand.report import summary_line, text_report
 from .teststand.stands import build_big_rack, build_minimal_bench, build_paper_stand
 
-__all__ = ["main_compile", "main_run", "main_report"]
+__all__ = ["main_compile", "main_run", "main_report", "main_campaign"]
 
 #: Builders for the bundled virtual test stands, selectable with ``--stand``.
 STAND_BUILDERS: dict[str, Callable[[], object]] = {
@@ -52,9 +66,7 @@ def _dut_registry() -> dict[str, Callable[[], TestHarness]]:
         return build_paper_harness()
 
     def locking() -> TestHarness:
-        return TestHarness(CentralLockingEcu(), body_can_database(),
-                           loads=(LoadSpec("LOCK_LED", ohms=500.0),
-                                  LoadSpec("LOCK_ACT", ohms=3.0)))
+        return _central_locking_harness(CentralLockingEcu())
 
     def window() -> TestHarness:
         return TestHarness(WindowLifterEcu(), body_can_database(),
@@ -116,7 +128,7 @@ def main_run(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("script", help="path of the XML test script")
     parser.add_argument("--stand", choices=sorted(STAND_BUILDERS), default="paper",
                         help="which virtual test stand to use (default: paper)")
-    parser.add_argument("--policy", choices=("first_fit", "best_fit", "least_used"),
+    parser.add_argument("--policy", choices=ALLOCATION_POLICIES,
                         default="first_fit", help="resource allocation policy")
     parser.add_argument("--quiet", action="store_true", help="print only the summary line")
     args = parser.parse_args(argv)
@@ -162,6 +174,153 @@ def main_run(argv: Sequence[str] | None = None) -> int:
     else:
         print(text_report(result))
     return 0 if result.passed else 1
+
+
+# -- fault campaigns ------------------------------------------------------------
+
+class CampaignTarget(NamedTuple):
+    """Everything ``repro-campaign`` needs to campaign one DUT type.
+
+    ``pins`` is the DUT adapter: the pin list the configurable stands
+    (big rack, minimal bench) must be wired to.  ``None`` means the DUT
+    uses the paper's default pinning, which every bundled stand carries.
+    """
+
+    ecu_factory: Callable[[], object]
+    harness_factory: Callable[[object], TestHarness]
+    signals_factory: Callable[[], object]
+    faults_factory: Callable[[], FaultCatalogue]
+    pins: tuple[str, ...] | None = None
+
+
+def _central_locking_harness(ecu) -> TestHarness:
+    return TestHarness(ecu, body_can_database(),
+                       loads=(LoadSpec("LOCK_LED", ohms=500.0),
+                              LoadSpec("LOCK_ACT", ohms=3.0)))
+
+
+#: DUTs with a bundled fault catalogue, campaignable via ``repro-campaign``.
+#: All factories are module-level so the process backend can pickle jobs.
+CAMPAIGN_TARGETS: dict[str, CampaignTarget] = {
+    "interior_light_ecu": CampaignTarget(
+        InteriorLightEcu, interior_harness,
+        paper_signal_set, interior_light_faults,
+    ),
+    "central_locking_ecu": CampaignTarget(
+        CentralLockingEcu, _central_locking_harness,
+        locking_signal_set, central_locking_faults,
+        pins=("KEY_SW", "UNLOCK_SW", "LOCK_LED", "LOCK_ACT"),
+    ),
+}
+
+#: Stands whose builder accepts a DUT adapter pin list (the paper stand's
+#: switching matrix is fixed to the paper pinning).
+ADAPTABLE_STANDS = ("big_rack", "minimal")
+
+
+def _campaign_stand_factory(stand: str, target: CampaignTarget):
+    """The stand factory for a campaign, wired to the DUT's adapter pins."""
+    if target.pins is None:
+        return STAND_BUILDERS[stand]
+    if stand not in ADAPTABLE_STANDS:
+        return None
+    # functools.partial of a module-level builder stays picklable for the
+    # process backend.
+    import functools
+
+    return functools.partial(STAND_BUILDERS[stand], target.pins)
+
+
+def main_campaign(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-campaign``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Compile a CSV workbook and run its fault-injection "
+                    "campaign across a worker pool.",
+    )
+    parser.add_argument("workbook",
+                        help="directory containing signals.csv, status.csv, test_*.csv")
+    parser.add_argument("--stand", choices=sorted(STAND_BUILDERS), default="paper",
+                        help="which virtual test stand to use (default: paper)")
+    parser.add_argument("--policy", choices=ALLOCATION_POLICIES,
+                        default="first_fit", help="resource allocation policy")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker count for parallel execution (default: 1)")
+    parser.add_argument("--backend", choices=EXECUTION_BACKENDS + ("auto",),
+                        default="auto",
+                        help="execution backend (default: auto = serial for "
+                             "--jobs 1, threads otherwise)")
+    parser.add_argument("--faults", default="",
+                        help="comma-separated fault names to inject "
+                             "(default: the DUT's whole catalogue)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="extra attempts per job after a transient error "
+                             "(default: 1; 0 disables retrying)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the campaign summary line")
+    args = parser.parse_args(argv)
+
+    try:
+        suite = load_suite(args.workbook)
+    except Exception as exc:
+        print(f"error: cannot load workbook {args.workbook!r}: {exc}", file=sys.stderr)
+        return 2
+    target = CAMPAIGN_TARGETS.get(suite.dut)
+    if target is None:
+        print(f"error: no fault catalogue for DUT {suite.dut!r}; "
+              f"campaignable DUTs: {sorted(CAMPAIGN_TARGETS)}", file=sys.stderr)
+        return 2
+
+    scripts = Compiler().compile_suite(suite)
+    catalogue = target.faults_factory()
+    if args.faults:
+        names = [name.strip() for name in args.faults.split(",") if name.strip()]
+        try:
+            faults = [catalogue.get(name)
+                      for name in dict.fromkeys(names)]  # dedupe, keep order
+        except Exception as exc:
+            print(f"error: {exc}; known faults: {', '.join(catalogue.names)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        faults = list(catalogue)
+
+    stand_factory = _campaign_stand_factory(args.stand, target)
+    if stand_factory is None:
+        print(f"error: stand {args.stand!r} has no adapter for DUT "
+              f"{suite.dut!r}; use one of {sorted(ADAPTABLE_STANDS)}",
+              file=sys.stderr)
+        return 2
+
+    campaign = FaultCampaign(
+        scripts,
+        target.signals_factory(),
+        stand_factory,
+        target.harness_factory,
+        target.ecu_factory,
+        policy=args.policy,
+        executor=make_executor(args.backend, args.jobs),
+        max_attempts=1 + max(0, args.retries),
+    )
+    try:
+        result = campaign.run(faults)
+    except Exception as exc:
+        print(f"error: campaign failed: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(result.table())
+    print(result.summary())
+    if result.execution is not None:
+        # Timing is scheduling-dependent, so it goes to stderr: stdout stays
+        # byte-identical across --jobs / --backend choices.
+        print(result.execution.summary(), file=sys.stderr)
+    # Exit 1 only for genuine regressions: a dirty baseline, or a fault the
+    # catalogue expects the suite to catch slipping through.  Detecting a
+    # fault that was *not* expected to be caught is a pleasant surprise (a
+    # richer suite closed a knowledge gap), never a failure.
+    missed = [o for o in result.outcomes if o.fault.expected_detected and not o.detected]
+    return 0 if result.baseline_clean and not missed else 1
 
 
 def main_report(argv: Sequence[str] | None = None) -> int:

@@ -41,6 +41,11 @@ class MethodCall:
         frozen = MappingProxyType({str(k): str(v) for k, v in dict(self.params).items()})
         object.__setattr__(self, "params", frozen)
 
+    def __reduce__(self):
+        # The frozen MappingProxyType view cannot be pickled; rebuild from a
+        # plain dict so scripts can cross process boundaries (executor jobs).
+        return (type(self), (self.method, dict(self.params)))
+
     def param(self, name: str, default: str | None = None) -> str | None:
         """Case-insensitive parameter lookup."""
         wanted = str(name).lower()

@@ -3,6 +3,7 @@
 from .example import (
     PAPER_TEST_NAME,
     build_paper_harness,
+    interior_harness,
     compile_paper_script,
     paper_can_database,
     paper_signal_set,
@@ -39,6 +40,7 @@ __all__ = [
     "paper_workbook",
     "paper_can_database",
     "build_paper_harness",
+    "interior_harness",
     "compile_paper_script",
     "run_paper_example",
     "paper_xml_snippet_action",

@@ -187,6 +187,22 @@ def paper_can_database() -> CanDatabase:
     return body_can_database()
 
 
+def interior_harness(ecu: InteriorLightEcu | None = None, *,
+                     ubatt: float = 12.0) -> TestHarness:
+    """The paper's test-circuit wiring around *ecu* (fresh healthy one if None).
+
+    This is the canonical (module-level, hence picklable) harness factory
+    for interior-light campaign jobs: pass a possibly-faulty ECU and get it
+    wired exactly like the paper's figure.
+    """
+    return TestHarness(
+        ecu if ecu is not None else InteriorLightEcu(),
+        paper_can_database(),
+        ubatt=ubatt,
+        loads=(LoadSpec("INT_ILL_F", "INT_ILL_R", LAMP_RESISTANCE, name="interior_lamp"),),
+    )
+
+
 def build_paper_harness(*, ubatt: float = 12.0) -> TestHarness:
     """The interior-light ECU wired as in the paper's test-circuit figure.
 
@@ -195,13 +211,7 @@ def build_paper_harness(*, ubatt: float = 12.0) -> TestHarness:
     connects to them; the ECU is attached to a CAN bus together with the
     test stand's CAN interface.
     """
-    ecu = InteriorLightEcu()
-    return TestHarness(
-        ecu,
-        paper_can_database(),
-        ubatt=ubatt,
-        loads=(LoadSpec("INT_ILL_F", "INT_ILL_R", LAMP_RESISTANCE, name="interior_lamp"),),
-    )
+    return interior_harness(ubatt=ubatt)
 
 
 def compile_paper_script() -> TestScript:

@@ -1,4 +1,10 @@
-"""Test-stand side of the tool chain: resources, routing, allocation, execution."""
+"""Test-stand side of the tool chain: resources, routing, allocation, execution.
+
+Single runs go through :class:`TestStandInterpreter`; whole campaigns go
+through the job-based engine in :mod:`repro.teststand.executor`, which fans
+(scripts x stands x fault models) out over serial / thread / process
+backends and aggregates deterministically.
+"""
 
 from .allocator import ALLOCATION_POLICIES, Allocation, Allocator
 from .connection import (
@@ -8,6 +14,21 @@ from .connection import (
     MuxChannel,
     Route,
     Switch,
+)
+from .executor import (
+    EXECUTION_BACKENDS,
+    ExecutionReport,
+    Executor,
+    Job,
+    JobResult,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_job,
+    expand_jobs,
+    make_executor,
+    run_across_stands,
+    run_jobs,
 )
 from .interpreter import TestStandInterpreter, run_script
 from .report import campaign_summary, format_table, json_report, summary_line, text_report
@@ -42,6 +63,19 @@ __all__ = [
     "PAPER_PINS",
     "TestStandInterpreter",
     "run_script",
+    "EXECUTION_BACKENDS",
+    "Job",
+    "JobResult",
+    "ExecutionReport",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "execute_job",
+    "expand_jobs",
+    "run_jobs",
+    "run_across_stands",
     "Verdict",
     "ActionResult",
     "StepResult",

@@ -1,0 +1,469 @@
+"""Job-based campaign execution: backends, retries, deterministic aggregation.
+
+Because every compiled test script is stand-independent and every run uses a
+fresh DUT, harness and stand, the cross product
+
+    (test scripts) x (test stands) x (fault models)
+
+decomposes into *independent jobs* — the natural unit of parallelism for
+large campaigns (the compositional-testing literature makes the same
+observation for FSM component runs).  This module turns that observation
+into an execution engine:
+
+:class:`Job`
+    one (script, stand factory, harness factory, ECU factory) work item,
+:func:`expand_jobs`
+    the ordered cross-product expansion,
+:class:`Executor` / :func:`make_executor`
+    one interface over three interchangeable backends
+    (``serial``, ``thread``, ``process``),
+:func:`run_jobs`
+    drives any backend, retries transient errors, streams results to an
+    optional callback and collects them into an insertion-ordered
+    :class:`ExecutionReport` — so the aggregated verdict table is
+    byte-identical no matter how many workers ran the campaign or in which
+    order they finished.
+
+The ``process`` backend requires every factory in the jobs to be picklable
+(module-level callables); the ``thread`` and ``serial`` backends accept any
+callable.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..core.errors import ReproError
+from ..core.script import TestScript
+from ..core.signals import SignalSet
+from .interpreter import TestStandInterpreter
+from .report import format_table
+from .verdict import TestResult, Verdict
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "Job",
+    "JobResult",
+    "ExecutionReport",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "execute_job",
+    "expand_jobs",
+    "run_jobs",
+    "run_across_stands",
+]
+
+#: Names of the supported execution backends.
+EXECUTION_BACKENDS = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Job model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Job:
+    """One independent unit of campaign work: run one script once.
+
+    A job owns *factories*, not instances: every execution builds a fresh
+    stand, harness and DUT, so jobs never share mutable state and can run
+    on any worker in any order.  ``group`` tags which campaign axis the job
+    belongs to (e.g. the fault-model name, or ``"baseline"``), and
+    ``index`` fixes the job's place in the deterministic aggregate.
+    """
+
+    index: int
+    script: TestScript
+    signals: SignalSet
+    stand_factory: Callable[[], object]
+    harness_factory: Callable[[object], object]
+    ecu_factory: Callable[[], object]
+    policy: str = "first_fit"
+    stop_on_error: bool = False
+    group: str = ""
+    stand_label: str = ""
+
+    @property
+    def job_id(self) -> str:
+        label = self.group or "-"
+        if self.stand_label:
+            label = f"{label}@{self.stand_label}"
+        return f"{label}/{self.script.name}#{self.index}"
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: the test result, or a terminal execution error."""
+
+    job: Job
+    result: TestResult | None
+    attempts: int = 1
+    error: str = ""
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.result.verdict if self.result is not None else Verdict.ERROR
+
+
+def execute_job(job: Job) -> TestResult:
+    """Build a fresh (ECU, harness, stand, interpreter) and run the job once."""
+    ecu = job.ecu_factory()
+    harness = job.harness_factory(ecu)
+    stand = job.stand_factory()
+    interpreter = TestStandInterpreter(
+        stand, harness, job.signals,
+        policy=job.policy, stop_on_error=job.stop_on_error,
+    )
+    return interpreter.run(job.script)
+
+
+def _execute_with_retries(job: Job, max_attempts: int) -> JobResult:
+    """Run *job*, retrying transient errors (raised exceptions) a few times.
+
+    Verdicts — including FAIL and ERROR action results — are never retried;
+    they are deterministic observations about the DUT.  Only a *raised*
+    exception (an allocation race on a shared stand, a worker hiccup) counts
+    as transient and is retried up to *max_attempts* total attempts.
+    """
+    start = time.perf_counter()
+    attempts = max(1, int(max_attempts))
+    last_error = ""
+    for attempt in range(1, attempts + 1):
+        try:
+            result = execute_job(job)
+        except Exception as exc:  # noqa: BLE001 - reported in the JobResult
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        return JobResult(job, result, attempts=attempt,
+                         wall_time=time.perf_counter() - start)
+    return JobResult(job, None, attempts=attempts, error=last_error,
+                     wall_time=time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+class Executor:
+    """One interface over the interchangeable execution backends.
+
+    ``map_jobs`` applies ``fn(job, *extra)`` to every job and yields
+    ``(position, JobResult)`` pairs as they complete — possibly out of
+    order; callers that need determinism re-order by position (which
+    :func:`run_jobs` does).
+    """
+
+    name = "?"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map_jobs(
+        self, fn: Callable[..., JobResult], jobs: Sequence[Job], *extra
+    ) -> Iterator[tuple[int, JobResult]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Runs every job in the calling thread, in submission order."""
+
+    name = "serial"
+
+    def map_jobs(self, fn, jobs, *extra):
+        for position, job in enumerate(jobs):
+            yield position, fn(job, *extra)
+
+
+class ThreadExecutor(Executor):
+    """Runs jobs on a thread pool (shared memory, any callables allowed)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = 4):
+        self.max_workers = max(1, int(max_workers))
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def map_jobs(self, fn, jobs, *extra):
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(fn, job, *extra): position
+                for position, job in enumerate(jobs)
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+
+class ProcessExecutor(Executor):
+    """Runs jobs on a process pool (true parallelism, picklable jobs only)."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int = 4):
+        self.max_workers = max(1, int(max_workers))
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def map_jobs(self, fn, jobs, *extra):
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {
+                    pool.submit(fn, job, *extra): position
+                    for position, job in enumerate(jobs)
+                }
+                for future in as_completed(futures):
+                    yield futures[future], future.result()
+        except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
+            raise ReproError(
+                "the process backend requires picklable jobs "
+                "(module-level factories); use the thread backend for "
+                f"closures ({exc})"
+            ) from exc
+
+
+def make_executor(backend: str = "auto", jobs: int = 1) -> Executor:
+    """Build the executor for a ``--jobs N --backend NAME`` style request.
+
+    ``auto`` picks serial for one worker and threads otherwise — the safe
+    default, because threads accept arbitrary (closure) factories.
+    """
+    jobs = max(1, int(jobs))
+    backend = (backend or "auto").lower()
+    if backend == "auto":
+        backend = "serial" if jobs == 1 else "thread"
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(max_workers=jobs)
+    if backend == "process":
+        return ProcessExecutor(max_workers=jobs)
+    raise ReproError(
+        f"unknown execution backend {backend!r}; choose one of {EXECUTION_BACKENDS}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expansion and aggregation
+# ---------------------------------------------------------------------------
+
+def expand_jobs(
+    scripts: Sequence[TestScript],
+    signals: SignalSet,
+    stands: Mapping[str, Callable[[], object]],
+    harness_factory: Callable[[object], object],
+    ecus: Mapping[str, Callable[[], object]],
+    *,
+    policy: str = "first_fit",
+    stop_on_error: bool = False,
+) -> tuple[Job, ...]:
+    """Expand (ECU groups x stands x scripts) into an ordered job list.
+
+    The iteration order — ECU group outermost, then stand, then script —
+    defines the deterministic aggregate order, mirroring how a serial
+    campaign would have walked the same cross product.
+    """
+    expanded: list[Job] = []
+    for group, ecu_factory in ecus.items():
+        for stand_label, stand_factory in stands.items():
+            for script in scripts:
+                expanded.append(Job(
+                    index=len(expanded),
+                    script=script,
+                    signals=signals,
+                    stand_factory=stand_factory,
+                    harness_factory=harness_factory,
+                    ecu_factory=ecu_factory,
+                    policy=policy,
+                    stop_on_error=stop_on_error,
+                    group=group,
+                    stand_label=stand_label,
+                ))
+    return tuple(expanded)
+
+
+class ExecutionReport:
+    """Insertion-ordered aggregate of a finished job batch."""
+
+    def __init__(
+        self,
+        results: Sequence[JobResult],
+        *,
+        backend: str = "serial",
+        workers: int = 1,
+        wall_time: float = 0.0,
+    ):
+        self.results = tuple(results)
+        self.backend = backend
+        self.workers = workers
+        self.wall_time = float(wall_time)
+
+    def __iter__(self) -> Iterator[JobResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a test result (verdicts may still fail)."""
+        return all(job_result.ok for job_result in self.results)
+
+    @property
+    def failed_jobs(self) -> tuple[JobResult, ...]:
+        """Jobs that never produced a result despite retries."""
+        return tuple(jr for jr in self.results if not jr.ok)
+
+    @property
+    def job_seconds(self) -> float:
+        """Sum of per-job wall times: the cost a serial run would have paid."""
+        return sum(jr.wall_time for jr in self.results)
+
+    @property
+    def speedup(self) -> float:
+        """Ratio of summed job time to elapsed wall time (1.0 when serial)."""
+        if self.wall_time <= 0.0:
+            return 1.0
+        return self.job_seconds / self.wall_time
+
+    def by_group(self) -> dict[str, tuple[JobResult, ...]]:
+        """Results bucketed by job group, both levels in insertion order."""
+        grouped: dict[str, list[JobResult]] = {}
+        for job_result in self.results:
+            grouped.setdefault(job_result.job.group, []).append(job_result)
+        return {group: tuple(items) for group, items in grouped.items()}
+
+    def test_results(self) -> tuple[TestResult, ...]:
+        """All successful test results, in insertion order.
+
+        Raises :class:`ReproError` when a job failed terminally, because a
+        partial verdict table would silently under-report the campaign.
+        """
+        failed = self.failed_jobs
+        if failed:
+            details = "; ".join(
+                f"{jr.job.job_id}: {jr.error}" for jr in failed[:3]
+            )
+            raise ReproError(
+                f"{len(failed)} job(s) failed after retries ({details})"
+            )
+        return tuple(jr.result for jr in self.results)
+
+    def verdict_table(self) -> str:
+        """Deterministic verdict table: identical for any backend/worker count."""
+        header = ("job", "script", "stand", "verdict", "steps", "pass", "fail", "error")
+        rows = []
+        for job_result in self.results:
+            result = job_result.result
+            if result is None:
+                rows.append((job_result.job.job_id, job_result.job.script.name,
+                             "-", "ERROR", "-", "-", "-", job_result.error))
+                continue
+            counts = result.counts()
+            rows.append((
+                job_result.job.job_id,
+                result.script.name,
+                result.stand,
+                str(result.verdict),
+                str(len(result.steps)),
+                str(counts["pass"]),
+                str(counts["fail"]),
+                str(counts["error"]),
+            ))
+        return format_table(header, rows)
+
+    def summary(self) -> str:
+        verdicts = {jr.verdict for jr in self.results}
+        worst = Verdict.combine(jr.verdict for jr in self.results)
+        retried = sum(1 for jr in self.results if jr.attempts > 1)
+        parts = [
+            f"{len(self.results)} job(s) on {self.backend} backend "
+            f"({self.workers} worker(s))",
+            f"worst verdict {worst}",
+            f"wall {self.wall_time:.3f} s (jobs {self.job_seconds:.3f} s, "
+            f"speedup {self.speedup:.2f}x)",
+        ]
+        if retried:
+            parts.append(f"{retried} job(s) needed retries")
+        if len(verdicts) == 1:
+            parts.append(f"all {next(iter(verdicts))}")
+        return "; ".join(parts)
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    executor: Executor | None = None,
+    *,
+    max_attempts: int = 2,
+    on_result: Callable[[JobResult], None] | None = None,
+) -> ExecutionReport:
+    """Execute *jobs* on *executor* and aggregate deterministically.
+
+    Results stream into *on_result* in completion order (for live progress)
+    but are slotted into the report by submission position, so the final
+    aggregate — and everything derived from it, like the verdict table —
+    does not depend on scheduling.
+    """
+    job_list = tuple(jobs)
+    executor = executor or SerialExecutor()
+    start = time.perf_counter()
+    slots: list[JobResult | None] = [None] * len(job_list)
+    for position, job_result in executor.map_jobs(
+        _execute_with_retries, job_list, max_attempts
+    ):
+        slots[position] = job_result
+        if on_result is not None:
+            on_result(job_result)
+    missing = [job_list[i].job_id for i, slot in enumerate(slots) if slot is None]
+    if missing:
+        raise ReproError(f"executor returned no result for job(s) {missing}")
+    return ExecutionReport(
+        [slot for slot in slots if slot is not None],
+        backend=executor.name,
+        workers=executor.workers,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def run_across_stands(
+    scripts: TestScript | Sequence[TestScript],
+    signals: SignalSet,
+    stands: Mapping[str, Callable[[], object]],
+    harness_factory: Callable[[object], object],
+    ecu_factory: Callable[[], object],
+    *,
+    policy: str = "first_fit",
+    executor: Executor | None = None,
+    max_attempts: int = 2,
+) -> ExecutionReport:
+    """Portability run: the same script(s) on every stand of *stands*.
+
+    This is the paper's E1 experiment phrased as an executor batch: the
+    portability analyses and benchmarks are thin layers over this call.
+    """
+    if isinstance(scripts, TestScript):
+        scripts = (scripts,)
+    jobs = expand_jobs(
+        tuple(scripts), signals, stands, harness_factory,
+        {"portability": ecu_factory}, policy=policy,
+    )
+    return run_jobs(jobs, executor, max_attempts=max_attempts)

@@ -67,26 +67,37 @@ class TestStandInterpreter:
                 f"test stand {self.stand.name!r} does not provide variables {missing}"
             )
 
-        setup_results = tuple(
-            self._perform_action(action, variables) for action in script.setup
-        )
-        steps: list[StepResult] = []
-        simulated = 0.0
-        for step in script.steps:
-            result = self._run_step(step, variables)
-            steps.append(result)
-            simulated += step.duration
+        clock_start = self.harness.now
+        setup_results: list[ActionResult] = []
+        setup_failed = False
+        for action in script.setup:
+            result = self._perform_action(action, variables)
+            setup_results.append(result)
             if self.stop_on_error and result.verdict is Verdict.ERROR:
+                # A broken setup invalidates every step; abort the run but
+                # keep the setup results so the report shows what happened.
+                setup_failed = True
                 break
 
+        steps: list[StepResult] = []
+        if not setup_failed:
+            for step in script.steps:
+                result = self._run_step(step, variables)
+                steps.append(result)
+                if self.stop_on_error and result.verdict is Verdict.ERROR:
+                    break
+
         self.allocator.release_all()
-        _ = _time.perf_counter() - wall_start
+        # Simulated duration is the harness clock delta, which also covers
+        # `wait` actions and time spent during setup - not just the sum of
+        # the step durations.
         return TestResult(
             script,
             self.stand.name,
-            setup=setup_results,
+            setup=tuple(setup_results),
             steps=steps,
-            duration=simulated,
+            duration=self.harness.now - clock_start,
+            wall_time=_time.perf_counter() - wall_start,
         )
 
     # -- internals -----------------------------------------------------------------

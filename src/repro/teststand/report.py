@@ -39,7 +39,8 @@ def summary_line(result: TestResult) -> str:
     return (
         f"{result.script.name} on {result.stand}: {result.verdict} "
         f"({len(result.steps)} steps, {counts['pass']} pass / {counts['fail']} fail / "
-        f"{counts['error']} error, {result.duration:g} s simulated)"
+        f"{counts['error']} error, {result.duration:g} s simulated, "
+        f"{result.wall_time * 1e3:.1f} ms wall)"
     )
 
 
@@ -52,6 +53,7 @@ def text_report(result: TestResult, *, verbose: bool = True) -> str:
         f"  Verdict    : {result.verdict}",
         f"  Steps      : {len(result.steps)}",
         f"  Simulated  : {result.duration:g} s",
+        f"  Wall time  : {result.wall_time * 1e3:.1f} ms",
         f"  Resources  : {', '.join(result.resources_used()) or '-'}",
         "",
     ]
@@ -88,6 +90,7 @@ def json_report(result: TestResult) -> str:
         "stand": result.stand,
         "verdict": result.verdict.value,
         "duration_s": result.duration,
+        "wall_time_s": result.wall_time,
         "counts": result.counts(),
         "steps": [
             {

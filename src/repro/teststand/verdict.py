@@ -115,12 +115,16 @@ class TestResult:
         setup: tuple[ActionResult, ...] = (),
         steps: Iterable[StepResult] = (),
         duration: float = 0.0,
+        wall_time: float = 0.0,
     ):
         self.script = script
         self.stand = stand
         self.setup = tuple(setup)
         self.steps = tuple(steps)
+        #: Simulated seconds the DUT experienced (harness clock delta).
         self.duration = float(duration)
+        #: Real seconds the interpreter needed to execute the run.
+        self.wall_time = float(wall_time)
 
     @property
     def verdict(self) -> Verdict:

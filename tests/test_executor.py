@@ -1,0 +1,319 @@
+"""Tests for the job-based campaign executor and the interpreter timing /
+stop-on-error fixes that ride on it.
+
+The process-backend tests rely on module-level factories (anything a job
+carries must be picklable to cross a process boundary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FaultCampaign, interior_light_faults
+from repro.core import Compiler
+from repro.core.errors import ReproError
+from repro.core.script import MethodCall, ScriptStep, SignalAction, TestScript
+from repro.dut import InteriorLightEcu
+from repro.paper import interior_harness, paper_signal_set, paper_suite
+from repro.teststand import (
+    EXECUTION_BACKENDS,
+    Job,
+    ProcessExecutor,
+    SerialExecutor,
+    TestStandInterpreter,
+    ThreadExecutor,
+    Verdict,
+    build_paper_stand,
+    expand_jobs,
+    make_executor,
+    run_across_stands,
+    run_jobs,
+    summary_line,
+    text_report,
+)
+
+
+def paper_scripts():
+    return Compiler().compile_suite(paper_suite())
+
+
+def _action(signal: str, method: str, **params) -> SignalAction:
+    return SignalAction(signal, MethodCall(method, {k: str(v) for k, v in params.items()}))
+
+
+# ---------------------------------------------------------------------------
+# Interpreter fixes
+# ---------------------------------------------------------------------------
+
+class TestInterpreterTiming:
+    def _run(self, script):
+        interpreter = TestStandInterpreter(
+            build_paper_stand(), interior_harness(InteriorLightEcu()), paper_signal_set()
+        )
+        return interpreter.run(script)
+
+    def test_wall_time_is_recorded(self):
+        script = Compiler().compile_test(paper_suite(), "interior_illumination")
+        result = self._run(script)
+        assert result.wall_time > 0.0
+        assert f"{result.wall_time * 1e3:.1f} ms" in summary_line(result)
+        assert "Wall time" in text_report(result)
+
+    def test_duration_counts_wait_actions(self):
+        """`wait` advances the harness clock beyond the step's own duration."""
+        step = ScriptStep(0, 1.0, (_action("NIGHT", "wait", t=5),))
+        script = TestScript("waits", "interior_light_ecu", [step])
+        result = self._run(script)
+        assert result.duration == pytest.approx(6.0)
+        assert sum(s.duration for s in result.steps) == pytest.approx(1.0)
+
+    def test_duration_counts_setup_time(self):
+        """Time spent during setup actions belongs to the simulated duration."""
+        step = ScriptStep(0, 1.0, (_action("NIGHT", "wait", t=5),))
+        script = TestScript("setup_waits", "interior_light_ecu", [step],
+                            setup=(_action("NIGHT", "wait", t=2),))
+        result = self._run(script)
+        assert result.duration == pytest.approx(8.0)
+
+    def test_duration_still_matches_step_sum_without_waits(self):
+        script = Compiler().compile_test(paper_suite(), "interior_illumination")
+        result = self._run(script)
+        assert result.duration == pytest.approx(sum(s.duration for s in result.steps))
+
+
+class TestSetupStopOnError:
+    def _script_with_broken_setup(self):
+        step = ScriptStep(0, 0.5, (_action("INT_ILL", "get_u", u_min=0, u_max=1),))
+        return TestScript("broken_setup", "interior_light_ecu", [step],
+                          setup=(_action("no_such_signal", "get_u", u_min=0, u_max=1),
+                                 _action("NIGHT", "wait", t=1)))
+
+    def test_setup_error_aborts_run_when_stop_on_error(self):
+        interpreter = TestStandInterpreter(
+            build_paper_stand(), interior_harness(InteriorLightEcu()),
+            paper_signal_set(), stop_on_error=True,
+        )
+        result = interpreter.run(self._script_with_broken_setup())
+        # The failing setup action is preserved, later setup actions and all
+        # steps are not executed.
+        assert len(result.setup) == 1
+        assert result.setup[0].verdict is Verdict.ERROR
+        assert result.steps == ()
+        assert result.verdict is Verdict.ERROR
+
+    def test_setup_error_continues_without_stop_on_error(self):
+        interpreter = TestStandInterpreter(
+            build_paper_stand(), interior_harness(InteriorLightEcu()),
+            paper_signal_set(), stop_on_error=False,
+        )
+        result = interpreter.run(self._script_with_broken_setup())
+        assert len(result.setup) == 2
+        assert len(result.steps) == 1
+
+    def test_holds_released_after_run(self):
+        interpreter = TestStandInterpreter(
+            build_paper_stand(), interior_harness(InteriorLightEcu()), paper_signal_set()
+        )
+        result = interpreter.run(Compiler().compile_test(paper_suite(),
+                                                         "interior_illumination"))
+        assert result.passed
+        assert interpreter.allocator.held_terminals == {}
+
+
+# ---------------------------------------------------------------------------
+# Executor engine
+# ---------------------------------------------------------------------------
+
+class TestExecutorEngine:
+    def test_expand_jobs_orders_cross_product(self):
+        scripts = paper_scripts()
+        jobs = expand_jobs(
+            scripts, paper_signal_set(),
+            {"paper": build_paper_stand},
+            interior_harness,
+            {"baseline": InteriorLightEcu, "faulty": InteriorLightEcu},
+        )
+        assert len(jobs) == 2 * len(scripts)
+        assert [job.index for job in jobs] == list(range(len(jobs)))
+        assert jobs[0].group == "baseline" and jobs[-1].group == "faulty"
+        assert all(job.stand_label == "paper" for job in jobs)
+
+    def test_make_executor_backends(self):
+        assert make_executor("auto", 1).name == "serial"
+        assert make_executor("auto", 4).name == "thread"
+        assert make_executor("serial", 8).name == "serial"
+        assert make_executor("process", 2).workers == 2
+        with pytest.raises(ReproError):
+            make_executor("quantum", 2)
+        assert set(EXECUTION_BACKENDS) == {"serial", "thread", "process"}
+
+    def test_retries_transient_errors(self):
+        failures = {"left": 1}
+
+        def flaky_ecu():
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient allocation race")
+            return InteriorLightEcu()
+
+        jobs = expand_jobs(
+            paper_scripts(), paper_signal_set(), {"": build_paper_stand},
+            interior_harness, {"": flaky_ecu},
+        )
+        report = run_jobs(jobs, SerialExecutor(), max_attempts=3)
+        assert report.ok
+        assert report.results[0].attempts == 2
+        assert report.results[0].result.passed
+
+    def test_terminal_error_is_reported_not_raised(self):
+        def broken_ecu():
+            raise RuntimeError("stand on fire")
+
+        jobs = expand_jobs(
+            paper_scripts(), paper_signal_set(), {"": build_paper_stand},
+            interior_harness, {"": broken_ecu},
+        )
+        report = run_jobs(jobs, SerialExecutor(), max_attempts=2)
+        assert not report.ok
+        job_result = report.results[0]
+        assert job_result.result is None
+        assert job_result.attempts == 2
+        assert "stand on fire" in job_result.error
+        assert job_result.verdict is Verdict.ERROR
+        assert "ERROR" in report.verdict_table()
+        with pytest.raises(ReproError):
+            report.test_results()
+
+    def test_results_stream_and_slot_in_order(self):
+        seen = []
+        jobs = expand_jobs(
+            paper_scripts(), paper_signal_set(), {"": build_paper_stand},
+            interior_harness,
+            {f"g{i}": InteriorLightEcu for i in range(6)},
+        )
+        report = run_jobs(jobs, ThreadExecutor(4), on_result=seen.append)
+        assert len(seen) == len(jobs)          # every result streamed once
+        assert [jr.job.index for jr in report] == list(range(len(jobs)))
+
+    def test_run_across_stands_all_pass(self):
+        from repro.teststand import build_big_rack, build_minimal_bench
+
+        report = run_across_stands(
+            paper_scripts(), paper_signal_set(),
+            {"paper": build_paper_stand, "big": build_big_rack,
+             "minimal": build_minimal_bench},
+            interior_harness, InteriorLightEcu,
+        )
+        assert len(report) == 3
+        assert all(result.passed for result in report.test_results())
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return FaultCampaign(paper_scripts(), paper_signal_set(), build_paper_stand,
+                             interior_harness, InteriorLightEcu)
+
+    def test_thread_backend_matches_serial(self, campaign):
+        serial = campaign.run(interior_light_faults(), executor=SerialExecutor())
+        threaded = campaign.run(interior_light_faults(), executor=ThreadExecutor(4))
+        assert serial.table() == threaded.table()
+        assert (serial.execution.verdict_table()
+                == threaded.execution.verdict_table())
+        assert serial.detected == threaded.detected
+        assert serial.baseline_clean and threaded.baseline_clean
+
+    def test_process_backend_matches_serial(self, campaign):
+        faults = [interior_light_faults().get(name)
+                  for name in ("lamp_stuck_off", "inverted_night")]
+        serial = campaign.run(faults, executor=SerialExecutor())
+        processed = campaign.run(faults, executor=ProcessExecutor(2))
+        assert serial.table() == processed.table()
+        assert (serial.execution.verdict_table()
+                == processed.execution.verdict_table())
+
+    def test_interleaved_jobs_on_a_shared_stand(self, campaign):
+        """Allocator holds are per-job: sharing one physical stand between
+        interleaved workers must not leak terminal holds between runs."""
+        shared_stand = build_paper_stand()
+        jobs = expand_jobs(
+            paper_scripts(), paper_signal_set(),
+            {"shared": lambda: shared_stand},
+            interior_harness,
+            {f"run{i}": InteriorLightEcu for i in range(8)},
+        )
+        report = run_jobs(jobs, ThreadExecutor(4))
+        results = report.test_results()
+        assert len(results) == 8
+        assert all(result.passed for result in results)
+
+    def test_execution_metadata_attached(self, campaign):
+        result = campaign.run(interior_light_faults(), executor=ThreadExecutor(2))
+        execution = result.execution
+        assert execution is not None
+        assert execution.backend == "thread" and execution.workers == 2
+        assert len(execution) == 10            # baseline + 9 faults, 1 script
+        assert execution.wall_time > 0.0
+        assert execution.by_group().keys() >= {"baseline", "lamp_stuck_off"}
+        assert "thread" in execution.summary()
+
+
+# ---------------------------------------------------------------------------
+# repro-campaign CLI
+# ---------------------------------------------------------------------------
+
+class TestCampaignCli:
+    @pytest.fixture()
+    def workbook(self, tmp_path):
+        from repro.sheets import save_suite
+
+        directory = str(tmp_path / "workbook")
+        save_suite(paper_suite(), directory)
+        return directory
+
+    def _stdout(self, capsys, argv):
+        from repro.cli import main_campaign
+
+        code = main_campaign(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_parallel_output_is_byte_identical(self, workbook, capsys):
+        code1, out1, err1 = self._stdout(capsys, [workbook])
+        code3, out3, err3 = self._stdout(capsys, [workbook, "--jobs", "3"])
+        assert code1 == 0 and code3 == 0
+        assert out1 == out3                      # verdicts never depend on --jobs
+        assert "lamp_stuck_off" in out1
+        assert "serial backend" in err1 and "thread backend" in err3
+
+    def test_fault_subset_and_quiet(self, workbook, capsys):
+        code, out, _ = self._stdout(
+            capsys, [workbook, "--faults", "lamp_stuck_off", "--quiet"])
+        assert code == 0
+        assert "1 faults, 1 detected" in out
+
+    def test_unknown_fault_rejected(self, workbook, capsys):
+        code, _, err = self._stdout(capsys, [workbook, "--faults", "gremlins"])
+        assert code == 2
+        assert "known faults" in err
+
+    def test_policy_choices_follow_allocator(self, workbook, capsys):
+        from repro.teststand import ALLOCATION_POLICIES
+
+        for policy in ALLOCATION_POLICIES:
+            code, _, _ = self._stdout(capsys, [workbook, "--quiet",
+                                               "--policy", policy])
+            assert code == 0
+        with pytest.raises(SystemExit):
+            self._stdout(capsys, [workbook, "--policy", "not_a_policy"])
+
+    def test_run_policy_choices_follow_allocator(self, workbook, tmp_path, capsys):
+        from repro.cli import main_compile, main_run
+
+        out_dir = str(tmp_path / "scripts")
+        assert main_compile([workbook, out_dir]) == 0
+        capsys.readouterr()
+        script = f"{out_dir}/interior_illumination.xml"
+        assert main_run([script, "--policy", "least_used", "--quiet"]) == 0
+        with pytest.raises(SystemExit):
+            main_run([script, "--policy", "not_a_policy"])

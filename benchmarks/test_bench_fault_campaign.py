@@ -3,26 +3,20 @@
 Nine realistic defects are injected into the interior-illumination ECU.  The
 paper's own sheet is expected to detect most but not all of them (it never
 exercises the front-right door at night); the extended suite that a project
-accumulates over time detects all of them.  The benchmark measures one full
-campaign of the paper suite (baseline + 9 faulty ECUs).
+accumulates over time detects all of them.  The campaigns are declarative
+:class:`repro.targets.CampaignSpec` objects expanded through the target
+registry; the benchmark measures one full campaign of the paper suite
+(baseline + 9 faulty ECUs).
 """
 
 from __future__ import annotations
 
-from conftest import interior_harness
-
-from repro.analysis import FaultCampaign, interior_light_faults
-from repro.core import Compiler
-from repro.dut import InteriorLightEcu
-from repro.paper import extended_suite, paper_signal_set, paper_suite
-from repro.teststand import build_paper_stand
+from repro.paper import extended_suite, paper_suite
+from repro.targets import CampaignSpec, run_campaign
 
 
 def _campaign(suite):
-    scripts = Compiler().compile_suite(suite)
-    campaign = FaultCampaign(scripts, paper_signal_set(), build_paper_stand,
-                             interior_harness, InteriorLightEcu)
-    return campaign.run(interior_light_faults())
+    return run_campaign(CampaignSpec(suite=suite, stand="paper"))
 
 
 def test_fault_campaign(benchmark, print_block):

@@ -4,48 +4,38 @@ The same XML text compiled from the paper's sheet is executed on three very
 different virtual stands (the paper's stand, a big crossbar rack, a minimal
 hand-wired bench) with different instruments, wiring and supply voltages.
 The claim holds if every stand reports the identical PASS verdict while using
-its own resources.  The per-stand runs are expressed as one executor batch
-(:func:`repro.teststand.run_across_stands`); the benchmark measures one
+its own resources.  The stands and the DUT wiring come from the
+:mod:`repro.targets` registry; the per-stand runs are one executor batch
+(:func:`repro.teststand.run_across_stands`) and the benchmark measures one
 serial batch of three executions.
 """
 
 from __future__ import annotations
 
-from conftest import interior_harness
-
 from repro.core import script_from_string, script_to_string
-from repro.dut import InteriorLightEcu
-from repro.paper import compile_paper_script, paper_signal_set
-from repro.teststand import (
-    build_big_rack,
-    build_minimal_bench,
-    build_paper_stand,
-    format_table,
-    run_across_stands,
-)
+from repro.paper import compile_paper_script
+from repro.targets import get_dut, stand_factories_for
+from repro.teststand import format_table, run_across_stands
 
-STAND_BUILDERS = {
-    "paper": build_paper_stand,
-    "big_rack": build_big_rack,
-    "minimal": build_minimal_bench,
-}
+TARGET = get_dut("interior_light_ecu")
+STAND_FACTORIES = stand_factories_for(TARGET)
 
 
 def _run_everywhere():
     xml_text = script_to_string(compile_paper_script())
     return run_across_stands(
         script_from_string(xml_text),
-        paper_signal_set(),
-        STAND_BUILDERS,
-        interior_harness,
-        InteriorLightEcu,
+        TARGET.signals_factory(),
+        STAND_FACTORIES,
+        TARGET.harness_factory,
+        TARGET.ecu_factory,
     )
 
 
 def test_portability_across_stands(benchmark, print_block):
     report = benchmark(_run_everywhere)
     # Display-only stand metadata is built outside the measured callable.
-    results = [(STAND_BUILDERS[job_result.job.stand_label](), job_result.result)
+    results = [(STAND_FACTORIES[job_result.job.stand_label](), job_result.result)
                for job_result in report]
 
     assert len(results) == 3

@@ -13,28 +13,28 @@ The gap between the two is exactly the knowledge-accumulation effect the
 paper argues for: the original sheet misses the ignored front-right door
 because it only ever exercises that door by day.
 
-Every (script x fault) pair is an independent job, so the campaign runs on
-any executor backend - try ``--jobs 4`` or ``--backend process`` and note
-that the verdict tables do not change, only the wall time does.
+Everything below is a declarative :class:`repro.targets.CampaignSpec`
+expanded by :func:`repro.targets.run_campaign`: the registry knows how to
+wire the interior-light ECU, and the executor engine fans the
+(script x fault) jobs out over any backend - try ``--jobs 4`` or
+``--backend process`` and note that the verdict tables do not change, only
+the wall time does.
 """
 
 import argparse
 
-from repro.analysis import FaultCampaign, interior_light_faults
-from repro.core import Compiler
-from repro.dut import InteriorLightEcu
-from repro.paper import extended_suite, interior_harness, paper_signal_set, paper_suite
-from repro.teststand import EXECUTION_BACKENDS, build_paper_stand, make_executor
+from repro.paper import extended_suite, paper_suite
+from repro.targets import CampaignSpec, run_campaign
+from repro.teststand import EXECUTION_BACKENDS, make_executor
 
 
-def run_campaign(suite, label: str, executor):
-    scripts = Compiler().compile_suite(suite)
-    campaign = FaultCampaign(scripts, paper_signal_set(), build_paper_stand,
-                             interior_harness, InteriorLightEcu,
-                             executor=executor)
-    result = campaign.run(interior_light_faults())
+def campaign(suite, label: str, executor):
+    # Both campaigns share one executor, so --backend/--jobs are applied
+    # consistently to both runs.
+    result = run_campaign(CampaignSpec(suite=suite, stand="paper"),
+                          executor=executor)
     print("=" * 78)
-    print(f"{label}: {len(scripts)} test sheet(s)")
+    print(f"{label}: {len(suite)} test sheet(s)")
     print("=" * 78)
     print(result.table())
     print(result.summary())
@@ -53,10 +53,10 @@ def main() -> None:
     args = parser.parse_args()
     executor = make_executor(args.backend, args.jobs)
 
-    paper_result = run_campaign(paper_suite(),
-                                "paper suite (the original sheet)", executor)
-    extended_result = run_campaign(extended_suite(),
-                                   "extended suite (accumulated knowledge)", executor)
+    paper_result = campaign(paper_suite(),
+                            "paper suite (the original sheet)", executor)
+    extended_result = campaign(extended_suite(),
+                               "extended suite (accumulated knowledge)", executor)
 
     print(f"detection rate, paper sheet only : {paper_result.detection_rate:.0%}")
     print(f"detection rate, extended suite   : {extended_result.detection_rate:.0%}")

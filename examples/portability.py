@@ -13,31 +13,19 @@ The script compiled from the paper's sheet is executed, byte-identically, on
 * a minimal hand-wired bench (handheld DVM, two small decades, 12.5 V),
 
 and the verdict table plus the per-stand resource choices are printed.  The
-per-stand runs are independent jobs, so the whole portability experiment is
-one :func:`repro.teststand.run_across_stands` batch - pass ``--jobs N`` to
-fan it out over a thread pool.
+stands and the DUT wiring come from the :mod:`repro.targets` registry
+(:func:`~repro.targets.stand_factories_for` yields one picklable stand
+factory per registered stand that carries the DUT's adapter); the per-stand
+runs are independent jobs in one :func:`repro.teststand.run_across_stands`
+batch - pass ``--jobs N`` to fan it out over a thread pool.
 """
 
 import argparse
 
 from repro.core import script_to_string
-from repro.dut import InteriorLightEcu
-from repro.paper import compile_paper_script, interior_harness, paper_signal_set
-from repro.teststand import (
-    build_big_rack,
-    build_minimal_bench,
-    build_paper_stand,
-    campaign_summary,
-    format_table,
-    make_executor,
-    run_across_stands,
-)
-
-STAND_BUILDERS = {
-    "paper_stand": build_paper_stand,
-    "big_rack": build_big_rack,
-    "minimal_bench": build_minimal_bench,
-}
+from repro.paper import compile_paper_script
+from repro.targets import get_dut, stand_factories_for
+from repro.teststand import campaign_summary, format_table, make_executor, run_across_stands
 
 
 def main() -> None:
@@ -51,16 +39,18 @@ def main() -> None:
     print(f"generated script: {script.name}, {len(script.steps)} steps, "
           f"{len(xml_text.splitlines())} lines of XML\n")
 
+    target = get_dut(script.dut)
+    stand_factories = stand_factories_for(target)
     report = run_across_stands(
         script,
-        paper_signal_set(),
-        STAND_BUILDERS,
-        interior_harness,
-        InteriorLightEcu,
+        target.signals_factory(),
+        stand_factories,
+        target.harness_factory,
+        target.ecu_factory,
         executor=make_executor("auto", args.jobs),
     )
 
-    display_stands = {label: builder() for label, builder in STAND_BUILDERS.items()}
+    display_stands = {label: factory() for label, factory in stand_factories.items()}
     rows = []
     for job_result in report:
         stand = display_stands[job_result.job.stand_label]

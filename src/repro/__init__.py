@@ -6,7 +6,8 @@ A from-scratch reproduction of the tool chain described in
     Proceedings of DATE 2005.
 
 The package is organised along the paper's own split between test
-*definition* and test *execution*:
+*definition* and test *execution*, plus a registry layer that binds the two
+together per device under test:
 
 ``repro.core``
     signal / status / test-definition model, compiler, XML generation and
@@ -21,8 +22,7 @@ The package is organised along the paper's own split between test
     stand-independent and every run uses a fresh DUT/harness/stand, the
     (scripts x stands x fault models) cross product expands into independent
     ``Job`` specs that run on interchangeable serial / thread / process
-    backends with a deterministic, insertion-ordered verdict aggregate
-    (``repro-campaign <workbook dir> --jobs N`` on the command line).
+    backends with a deterministic, insertion-ordered verdict aggregate.
 ``repro.instruments``
     virtual instruments (DVM, resistor decade, power supply, CAN ...).
 ``repro.dut``
@@ -32,10 +32,24 @@ The package is organised along the paper's own split between test
 ``repro.analysis``
     coverage, traceability, reuse metrics, fault injection campaigns.
 ``repro.paper``
-    the paper's worked example and table/figure renderings.
+    the paper's worked example, the extended / second-project suites, the
+    body-electronics family suites and the table/figure renderings.
+``repro.targets``
+    the public target registry and declarative campaign API: a
+    :class:`~repro.targets.DutTarget` bundles everything execution needs to
+    know about one DUT (ECU / harness / signal-set / fault-catalogue
+    factories plus stand adapter pins), ``register_dut`` / ``register_stand``
+    extend the registry, and :func:`~repro.targets.run_single` /
+    :func:`~repro.targets.run_campaign` expand declarative
+    :class:`~repro.targets.RunSpec` / :class:`~repro.targets.CampaignSpec`
+    objects through the executor engine.  All five bundled body-electronics
+    ECUs (interior light, central locking, window lifter, wiper, exterior
+    light) are registered with fault catalogues, so
+    ``repro-campaign --dut <name>`` covers the whole family.
 """
 
 from . import analysis, can, core, dut, instruments, methods, paper, sheets, teststand
+from . import targets
 from .core import (
     Compiler,
     CompileOptions,
@@ -55,6 +69,17 @@ from .core import (
     script_to_string,
     write_script,
 )
+from .targets import (
+    CampaignSpec,
+    DutTarget,
+    RunSpec,
+    StandTarget,
+    TargetError,
+    register_dut,
+    register_stand,
+    run_campaign,
+    run_single,
+)
 from .teststand import (
     TestStand,
     TestStandInterpreter,
@@ -64,16 +89,18 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "core", "sheets", "methods", "teststand", "instruments", "dut", "can",
-    "analysis", "paper",
+    "analysis", "paper", "targets",
     "Signal", "SignalDirection", "SignalKind", "SignalSet",
     "StatusDefinition", "StatusTable", "TestDefinition", "TestSuite", "TestScript",
     "Compiler", "CompileOptions", "compile_test", "compile_suite",
     "script_to_string", "write_script", "parse_script", "read_script",
     "TestStand", "TestStandInterpreter", "run_script",
     "build_paper_stand", "build_big_rack", "build_minimal_bench",
+    "DutTarget", "StandTarget", "TargetError", "register_dut", "register_stand",
+    "RunSpec", "CampaignSpec", "run_single", "run_campaign",
 ]

@@ -6,7 +6,10 @@ from .faults import (
     FaultCatalogue,
     FaultModel,
     central_locking_faults,
+    exterior_light_faults,
     interior_light_faults,
+    window_lifter_faults,
+    wiper_faults,
 )
 from .reuse import ReuseReport, compare_suites, script_portability, vocabulary_reuse
 from .traceability import (
@@ -31,6 +34,9 @@ __all__ = [
     "FaultCatalogue",
     "interior_light_faults",
     "central_locking_faults",
+    "wiper_faults",
+    "window_lifter_faults",
+    "exterior_light_faults",
     "FaultCampaign",
     "FaultRunOutcome",
     "CampaignResult",

@@ -20,10 +20,21 @@ from typing import Callable, Iterable, Iterator
 from ..core.errors import ReproError
 from ..dut.base import EcuModel
 from ..dut.central_locking import CentralLockingEcu
+from ..dut.exterior_light import ExteriorLightEcu
 from ..dut.interior_light import InteriorLightEcu
 from ..dut.pins import OutputDrive
+from ..dut.window_lifter import WindowLifterEcu
+from ..dut.wiper import WiperEcu
 
-__all__ = ["FaultModel", "FaultCatalogue", "interior_light_faults", "central_locking_faults"]
+__all__ = [
+    "FaultModel",
+    "FaultCatalogue",
+    "interior_light_faults",
+    "central_locking_faults",
+    "wiper_faults",
+    "window_lifter_faults",
+    "exterior_light_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -224,5 +235,279 @@ def central_locking_faults() -> FaultCatalogue:
                        _LockUnlocksAtSpeed, expected_detected=False),
             FaultModel("led_stuck_off", "lock LED output broken",
                        _LockLedStuckOff),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wiper ECU faults
+# ---------------------------------------------------------------------------
+
+class _WiperMotorStuckOff(WiperEcu):
+    """The wiper motor driver is broken: the motor never turns."""
+
+    def _apply_outputs(self) -> None:
+        super()._apply_outputs()
+        self.drive_output("WIPER_MOTOR", OutputDrive.floating())
+
+
+class _WiperNoFastRelay(WiperEcu):
+    """The fast-speed relay output is never asserted."""
+
+    def _apply_outputs(self) -> None:
+        super()._apply_outputs()
+        self.drive_output("WIPER_FAST", OutputDrive.floating())
+
+
+class _WiperFastRelayWeak(WiperEcu):
+    """The relay driver has aged to a high on-resistance.
+
+    The 200 Ohm relay coil barely loads the weak driver, so the voltage
+    check still sees a value inside the ``Ho`` window - only a current
+    measurement sheet (not yet in the suite) would catch this one.
+    """
+
+    def _apply_outputs(self) -> None:
+        super()._apply_outputs()
+        if self._mode == 3 and self.ignition_on:
+            self.drive_output("WIPER_FAST", OutputDrive.high_side(50.0))
+
+
+class _WiperIntervalTooShort(WiperEcu):
+    """The interval pause is 2 s instead of 5 s."""
+
+    INTERVAL_S = 2.0
+
+
+class _WiperIntervalNeverRepeats(WiperEcu):
+    """The interval timer service is dead: only the first wipe runs."""
+
+    def _end_wipe(self) -> None:
+        self._interval_wiping = False
+        self._wipe_end_event = None
+        self._apply_outputs()
+
+
+class _WiperPumpStuckOn(WiperEcu):
+    """The washer pump driver is shorted: the pump runs with the ignition."""
+
+    def _apply_outputs(self) -> None:
+        super()._apply_outputs()
+        if self.ignition_on:
+            self.drive_output("WASH_PUMP", OutputDrive.high_side(0.5))
+
+
+class _WiperIgnoresWashSwitch(WiperEcu):
+    """The resistive wash button threshold is far too low; presses are missed."""
+
+    CONTACT_THRESHOLD = 0.05
+
+
+class _WiperWipesWithoutIgnition(WiperEcu):
+    """The ignition interlock is missing: the wiper runs with ignition off."""
+
+    @property
+    def ignition_on(self) -> bool:
+        return True
+
+
+def wiper_faults() -> FaultCatalogue:
+    """The fault catalogue of the wiper ECU."""
+    return FaultCatalogue(
+        WiperEcu.NAME,
+        (
+            FaultModel("motor_stuck_off", "wiper motor driver broken",
+                       _WiperMotorStuckOff),
+            FaultModel("no_fast_relay", "fast-speed relay never asserted",
+                       _WiperNoFastRelay),
+            # The suite only checks the relay output's voltage; the weak
+            # driver still reaches the Ho window into the light coil load,
+            # so this defect needs a future get_i sheet to be caught.
+            FaultModel("fast_relay_weak", "relay driver on-resistance aged",
+                       _WiperFastRelayWeak, expected_detected=False),
+            FaultModel("interval_too_short", "interval pause 2 s instead of 5 s",
+                       _WiperIntervalTooShort),
+            FaultModel("interval_never_repeats", "interval timer never re-arms",
+                       _WiperIntervalNeverRepeats),
+            FaultModel("pump_stuck_on", "washer pump runs with ignition",
+                       _WiperPumpStuckOn),
+            FaultModel("ignores_wash_switch", "wash button threshold far too low",
+                       _WiperIgnoresWashSwitch),
+            FaultModel("wipes_without_ignition", "ignition interlock missing",
+                       _WiperWipesWithoutIgnition),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Window lifter ECU faults
+# ---------------------------------------------------------------------------
+
+class _WinMotorUpDead(WindowLifterEcu):
+    """The closing-direction motor driver is broken."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        self.drive_output("WIN_MOTOR_UP", OutputDrive.floating())
+
+
+class _WinSwappedMotorOutputs(WindowLifterEcu):
+    """The two motor outputs are swapped in the harness connector."""
+
+    _SWAP = {"win_motor_up": "win_motor_down", "win_motor_down": "win_motor_up"}
+
+    def drive_output(self, pin: str, drive: OutputDrive) -> None:
+        super().drive_output(self._SWAP.get(str(pin).lower(), pin), drive)
+
+
+class _WinIgnoresInterlock(WindowLifterEcu):
+    """The ignition interlock is missing: the window moves with ignition off."""
+
+    @property
+    def ignition_on(self) -> bool:
+        return True
+
+
+class _WinNoEndStopCut(WindowLifterEcu):
+    """The end-stop detection is broken: the motor keeps driving at the stop."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        if (self.ignition_on
+                and self.contact_closed("WIN_SW_UP", self.CONTACT_THRESHOLD)
+                and self._position <= 0.0):
+            self.drive_output("WIN_MOTOR_UP", OutputDrive.high_side(0.3))
+
+
+class _WinTravelTooFast(WindowLifterEcu):
+    """The window travels at triple speed (wrong motor gearing constant)."""
+
+    TRAVEL_RATE = 30.0
+
+
+class _WinTravelSlightlySlow(WindowLifterEcu):
+    """An aged motor travels at 9 %/s instead of 10 %/s.
+
+    The position acceptance window (15..25 % after 2 s) still contains the
+    18 % an aged motor reaches, so the suite does not catch this drift - a
+    tighter timing sheet would have to be added.
+    """
+
+    TRAVEL_RATE = 9.0
+
+
+class _WinPositionNotReported(WindowLifterEcu):
+    """The position broadcast is missing (transmit path broken)."""
+
+    def transmit(self, message: str, values) -> None:
+        if str(message).lower() == "window_position":
+            return
+        super().transmit(message, values)
+
+
+def window_lifter_faults() -> FaultCatalogue:
+    """The fault catalogue of the window lifter ECU."""
+    return FaultCatalogue(
+        WindowLifterEcu.NAME,
+        (
+            FaultModel("motor_up_dead", "closing-direction driver broken",
+                       _WinMotorUpDead),
+            FaultModel("swapped_motor_outputs", "motor outputs swapped",
+                       _WinSwappedMotorOutputs),
+            FaultModel("ignores_interlock", "ignition interlock missing",
+                       _WinIgnoresInterlock),
+            FaultModel("no_end_stop_cut", "motor keeps driving at the end stop",
+                       _WinNoEndStopCut),
+            FaultModel("travel_too_fast", "window travels at triple speed",
+                       _WinTravelTooFast),
+            # 18 % after 2 s still sits inside the 15..25 % acceptance
+            # window, so the aged motor slips through the current sheets.
+            FaultModel("travel_slightly_slow", "aged motor, 9 %/s instead of 10 %/s",
+                       _WinTravelSlightlySlow, expected_detected=False),
+            FaultModel("position_not_reported", "position broadcast missing",
+                       _WinPositionNotReported),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exterior light ECU faults
+# ---------------------------------------------------------------------------
+
+class _ExtLowBeamDead(ExteriorLightEcu):
+    """The low beam driver is broken."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        self.drive_output("LOW_BEAM", OutputDrive.floating())
+
+
+class _ExtAutoIgnoresSensor(ExteriorLightEcu):
+    """The automatic position never sees darkness (sensor input dead)."""
+
+    @property
+    def night(self) -> bool:
+        return False
+
+
+class _ExtDrlAlwaysOn(ExteriorLightEcu):
+    """The DRL is not suppressed while the low beam is on."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        if self.ignition >= 2:
+            self.drive_output("DRL", OutputDrive.high_side(0.2))
+
+
+class _ExtDrlDim(ExteriorLightEcu):
+    """The DRL driver has aged to a higher on-resistance.
+
+    Into the 8 Ohm lamp the dimmed output still reads ~0.9 x UBATT, inside
+    the ``Ho`` window, so the voltage sheets do not catch the fading lamp.
+    """
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        if self.drl_on:
+            self.drive_output("DRL", OutputDrive.high_side(0.8))
+
+
+class _ExtIgnoresParkSwitch(ExteriorLightEcu):
+    """The parking light switch threshold is far too low; requests are missed."""
+
+    CONTACT_THRESHOLD = 0.05
+
+
+class _ExtPositionOnlyWithPark(ExteriorLightEcu):
+    """The position light no longer follows the low beam."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        park = self.contact_closed("PARK_SW", self.CONTACT_THRESHOLD)
+        self.drive_output(
+            "POSITION_LIGHT",
+            OutputDrive.high_side(0.5) if park else OutputDrive.floating(),
+        )
+
+
+def exterior_light_faults() -> FaultCatalogue:
+    """The fault catalogue of the exterior light ECU."""
+    return FaultCatalogue(
+        ExteriorLightEcu.NAME,
+        (
+            FaultModel("low_beam_dead", "low beam driver broken",
+                       _ExtLowBeamDead),
+            FaultModel("auto_ignores_sensor", "automatic never sees darkness",
+                       _ExtAutoIgnoresSensor),
+            FaultModel("drl_always_on", "DRL not suppressed with low beam",
+                       _ExtDrlAlwaysOn),
+            # The dimmed driver still reaches the Ho voltage window into
+            # the lamp load; catching it needs a current/brightness sheet.
+            FaultModel("drl_dim", "DRL driver on-resistance aged",
+                       _ExtDrlDim, expected_detected=False),
+            FaultModel("ignores_park_switch", "parking light requests missed",
+                       _ExtIgnoresParkSwitch),
+            FaultModel("position_without_low_beam", "position light decoupled from low beam",
+                       _ExtPositionOnlyWithPark),
         ),
     )

@@ -1,21 +1,32 @@
 """Command-line entry points.
 
-Four small tools mirror the paper's workflow:
+Four small tools mirror the paper's workflow; all of them are thin layers
+over the public target registry in :mod:`repro.targets`:
 
 ``repro-compile <workbook dir> <output dir>``
     read a CSV workbook (signal / status / test sheets) and generate one XML
     test script per test definition sheet,
 ``repro-run <script.xml> [--stand NAME] [--policy NAME]``
-    execute an XML test script on one of the bundled virtual test stands
-    against the matching simulated DUT and print the report,
+    execute an XML test script on one of the registered virtual test stands
+    against the matching registered DUT and print the report,
 ``repro-report <script.xml>``
     print a static summary of a script (signals, methods, duration) without
     executing it,
-``repro-campaign <workbook dir> [--stand NAME] [--jobs N] [--faults A,B]``
-    compile the workbook and run the full fault-injection campaign for its
-    DUT across a configurable worker pool.  The verdict tables on stdout are
-    byte-identical for any ``--jobs`` / ``--backend`` combination; timing
-    goes to stderr.
+``repro-campaign [<workbook dir>] [--dut NAME] [--stand NAME] [--jobs N]``
+    run a fault-injection campaign for a DUT across a configurable worker
+    pool, either from a compiled CSV workbook or - with ``--dut`` - from the
+    DUT's bundled suite.  ``--list-targets`` prints every registered DUT and
+    stand.  The verdict tables on stdout are byte-identical for any
+    ``--jobs`` / ``--backend`` combination; timing goes to stderr.
+
+Exit codes distinguish verdicts from infrastructure problems so CI
+consumers can tell DUT regressions from broken setups:
+
+* ``0`` - the run / campaign passed,
+* ``1`` - the DUT misbehaved (a FAIL verdict, a dirty campaign baseline, or
+  a fault the catalogue expects to be caught slipping through),
+* ``2`` - the test could not be executed (unknown DUT / stand / fault,
+  unreadable script or workbook, no stand adapter, an ERROR verdict).
 """
 
 from __future__ import annotations
@@ -28,70 +39,30 @@ from typing import Callable, NamedTuple, Sequence
 from .core.xmlgen import write_script
 from .core.xmlparse import read_script
 from .core.compiler import Compiler
-from .dut.central_locking import CentralLockingEcu
-from .dut.exterior_light import ExteriorLightEcu
-from .dut.harness import LoadSpec, TestHarness
-from .dut.interior_light import InteriorLightEcu
-from .dut.messages import body_can_database
-from .dut.window_lifter import WindowLifterEcu
-from .dut.wiper import WiperEcu
-from .analysis.campaign import FaultCampaign
-from .analysis.faults import (
-    FaultCatalogue,
-    central_locking_faults,
-    interior_light_faults,
-)
-from .paper.example import build_paper_harness, interior_harness, paper_signal_set
-from .paper.extended import locking_signal_set
+from .dut.harness import TestHarness
+from .analysis.faults import FaultCatalogue
 from .sheets.workbook import load_suite
 from .teststand.allocator import ALLOCATION_POLICIES
-from .teststand.executor import EXECUTION_BACKENDS, make_executor
-from .teststand.interpreter import TestStandInterpreter
+from .teststand.executor import EXECUTION_BACKENDS
 from .teststand.report import summary_line, text_report
-from .teststand.stands import build_big_rack, build_minimal_bench, build_paper_stand
+from .teststand.verdict import Verdict
+from . import targets
+from .targets import CampaignSpec, RunSpec, TargetError
 
-__all__ = ["main_compile", "main_run", "main_report", "main_campaign"]
+__all__ = [
+    "main_compile",
+    "main_run",
+    "main_report",
+    "main_campaign",
+    # deprecated shims, see below
+    "CampaignTarget",
+    "CAMPAIGN_TARGETS",
+    "STAND_BUILDERS",
+    "ADAPTABLE_STANDS",
+]
 
-#: Builders for the bundled virtual test stands, selectable with ``--stand``.
-STAND_BUILDERS: dict[str, Callable[[], object]] = {
-    "paper": build_paper_stand,
-    "big_rack": build_big_rack,
-    "minimal": build_minimal_bench,
-}
-
-
-def _dut_registry() -> dict[str, Callable[[], TestHarness]]:
-    """Factories building a ready-wired harness per known DUT name."""
-    def interior() -> TestHarness:
-        return build_paper_harness()
-
-    def locking() -> TestHarness:
-        return _central_locking_harness(CentralLockingEcu())
-
-    def window() -> TestHarness:
-        return TestHarness(WindowLifterEcu(), body_can_database(),
-                           loads=(LoadSpec("WIN_MOTOR_UP", ohms=2.0),
-                                  LoadSpec("WIN_MOTOR_DOWN", ohms=2.0)))
-
-    def wiper() -> TestHarness:
-        return TestHarness(WiperEcu(), body_can_database(),
-                           loads=(LoadSpec("WIPER_MOTOR", ohms=2.0),
-                                  LoadSpec("WASH_PUMP", ohms=4.0),
-                                  LoadSpec("WIPER_FAST", ohms=200.0)))
-
-    def exterior() -> TestHarness:
-        return TestHarness(ExteriorLightEcu(), body_can_database(),
-                           loads=(LoadSpec("LOW_BEAM", ohms=4.0),
-                                  LoadSpec("DRL", ohms=8.0),
-                                  LoadSpec("POSITION_LIGHT", ohms=20.0)))
-
-    return {
-        "interior_light_ecu": interior,
-        "central_locking_ecu": locking,
-        "window_lifter_ecu": window,
-        "wiper_ecu": wiper,
-        "exterior_light_ecu": exterior,
-    }
+#: Exit code for infrastructure errors (vs. 1 for genuine DUT regressions).
+EXIT_ERROR = 2
 
 
 def main_compile(argv: Sequence[str] | None = None) -> int:
@@ -104,15 +75,24 @@ def main_compile(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("output", help="directory to write the generated XML scripts into")
     args = parser.parse_args(argv)
 
-    suite = load_suite(args.workbook)
+    try:
+        suite = load_suite(args.workbook)
+    except Exception as exc:
+        print(f"error: cannot load workbook {args.workbook!r}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     compiler = Compiler()
-    os.makedirs(args.output, exist_ok=True)
     written = []
-    for test in suite:
-        script = compiler.compile_test(suite, test)
-        path = os.path.join(args.output, f"{script.name}.xml")
-        write_script(script, path)
-        written.append(path)
+    try:
+        os.makedirs(args.output, exist_ok=True)
+        for test in suite:
+            script = compiler.compile_test(suite, test)
+            path = os.path.join(args.output, f"{script.name}.xml")
+            write_script(script, path)
+            written.append(path)
+    except Exception as exc:
+        print(f"error: cannot write scripts to {args.output!r}: {exc}",
+              file=sys.stderr)
+        return EXIT_ERROR
     print(f"compiled {len(written)} test script(s) from {args.workbook!r}:")
     for path in written:
         print(f"  {path}")
@@ -123,125 +103,81 @@ def main_run(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-run``."""
     parser = argparse.ArgumentParser(
         prog="repro-run",
-        description="Execute an XML test script on a bundled virtual test stand.",
+        description="Execute an XML test script on a registered virtual test stand.",
     )
     parser.add_argument("script", help="path of the XML test script")
-    parser.add_argument("--stand", choices=sorted(STAND_BUILDERS), default="paper",
-                        help="which virtual test stand to use (default: paper)")
+    parser.add_argument("--stand", choices=targets.stand_names(), default=None,
+                        help="which virtual test stand to use (default: one "
+                             "that carries the DUT's adapter)")
     parser.add_argument("--policy", choices=ALLOCATION_POLICIES,
                         default="first_fit", help="resource allocation policy")
     parser.add_argument("--quiet", action="store_true", help="print only the summary line")
     args = parser.parse_args(argv)
 
-    script = read_script(args.script)
-    registry = _dut_registry()
-    if script.dut not in registry:
-        print(f"error: unknown DUT {script.dut!r}; known DUTs: {sorted(registry)}",
-              file=sys.stderr)
-        return 2
-    harness = registry[script.dut]()
-    stand = STAND_BUILDERS[args.stand]()
+    try:
+        script = read_script(args.script)
+    except Exception as exc:
+        print(f"error: cannot read script {args.script!r}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        result = targets.run_single(
+            RunSpec(script=script, stand=args.stand, policy=args.policy)
+        )
+    except TargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except Exception as exc:
+        # A crashing (possibly third-party) factory or stand builder is an
+        # infrastructure problem; keep the documented exit-2 contract.
+        print(f"error: run failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
-    # Signal definitions for the paper DUT are bundled; for the other DUTs a
-    # minimal signal set is derived from the script itself (pins = signal name).
-    if script.dut == "interior_light_ecu":
-        signals = paper_signal_set()
-    else:
-        from .core.signals import Signal, SignalDirection, SignalKind, SignalSet
-
-        db = body_can_database()
-        derived = []
-        for name in script.signals_used():
-            ecu = harness.ecu
-            if ecu.has_pin(name):
-                pin = ecu.pin(name)
-                direction = SignalDirection.OUTPUT if pin.is_output else SignalDirection.INPUT
-                kind = SignalKind.ANALOG if pin.is_output else SignalKind.RESISTIVE
-                derived.append(Signal(name, direction, kind, pins=(name,)))
-            else:
-                try:
-                    message = db.message_for_signal(name).name
-                except Exception:
-                    continue
-                derived.append(Signal(name, SignalDirection.INPUT, SignalKind.BUS,
-                                      message=message))
-        signals = SignalSet(derived, dut=script.dut)
-
-    interpreter = TestStandInterpreter(stand, harness, signals, policy=args.policy)
-    result = interpreter.run(script)
     if args.quiet:
         print(summary_line(result))
     else:
         print(text_report(result))
+    if result.verdict is Verdict.ERROR:
+        # The script could not be executed (allocation failure, unknown
+        # signal, instrument error) - an infrastructure problem, not a
+        # verdict about the DUT.
+        return EXIT_ERROR
     return 0 if result.passed else 1
 
 
 # -- fault campaigns ------------------------------------------------------------
 
-class CampaignTarget(NamedTuple):
-    """Everything ``repro-campaign`` needs to campaign one DUT type.
-
-    ``pins`` is the DUT adapter: the pin list the configurable stands
-    (big rack, minimal bench) must be wired to.  ``None`` means the DUT
-    uses the paper's default pinning, which every bundled stand carries.
-    """
-
-    ecu_factory: Callable[[], object]
-    harness_factory: Callable[[object], TestHarness]
-    signals_factory: Callable[[], object]
-    faults_factory: Callable[[], FaultCatalogue]
-    pins: tuple[str, ...] | None = None
-
-
-def _central_locking_harness(ecu) -> TestHarness:
-    return TestHarness(ecu, body_can_database(),
-                       loads=(LoadSpec("LOCK_LED", ohms=500.0),
-                              LoadSpec("LOCK_ACT", ohms=3.0)))
-
-
-#: DUTs with a bundled fault catalogue, campaignable via ``repro-campaign``.
-#: All factories are module-level so the process backend can pickle jobs.
-CAMPAIGN_TARGETS: dict[str, CampaignTarget] = {
-    "interior_light_ecu": CampaignTarget(
-        InteriorLightEcu, interior_harness,
-        paper_signal_set, interior_light_faults,
-    ),
-    "central_locking_ecu": CampaignTarget(
-        CentralLockingEcu, _central_locking_harness,
-        locking_signal_set, central_locking_faults,
-        pins=("KEY_SW", "UNLOCK_SW", "LOCK_LED", "LOCK_ACT"),
-    ),
-}
-
-#: Stands whose builder accepts a DUT adapter pin list (the paper stand's
-#: switching matrix is fixed to the paper pinning).
-ADAPTABLE_STANDS = ("big_rack", "minimal")
-
-
-def _campaign_stand_factory(stand: str, target: CampaignTarget):
-    """The stand factory for a campaign, wired to the DUT's adapter pins."""
-    if target.pins is None:
-        return STAND_BUILDERS[stand]
-    if stand not in ADAPTABLE_STANDS:
-        return None
-    # functools.partial of a module-level builder stays picklable for the
-    # process backend.
-    import functools
-
-    return functools.partial(STAND_BUILDERS[stand], target.pins)
+def _print_target_listing() -> None:
+    """Print the registered DUTs and stands (``--list-targets``)."""
+    print("registered DUTs:")
+    for target in sorted(targets.iter_duts(), key=lambda t: t.key):
+        sheets = len(target.suite_factory()) if target.suite_factory else 0
+        fault_count = len(target.faults_factory()) if target.faults_factory else 0
+        pins = ", ".join(target.pins) if target.pins else "paper default"
+        print(f"  {target.name}")
+        print(f"      {target.description or '-'}")
+        print(f"      sheets: {sheets}  faults: {fault_count}  adapter pins: {pins}")
+    print("registered stands:")
+    for stand in sorted(targets.iter_stands(), key=lambda t: t.key):
+        kind = "adaptable" if stand.adaptable else "fixed paper pinning"
+        print(f"  {stand.name} ({kind}): {stand.description or '-'}")
 
 
 def main_campaign(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-campaign``."""
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
-        description="Compile a CSV workbook and run its fault-injection "
-                    "campaign across a worker pool.",
+        description="Run a fault-injection campaign for a registered DUT "
+                    "across a worker pool.",
     )
-    parser.add_argument("workbook",
-                        help="directory containing signals.csv, status.csv, test_*.csv")
-    parser.add_argument("--stand", choices=sorted(STAND_BUILDERS), default="paper",
-                        help="which virtual test stand to use (default: paper)")
+    parser.add_argument("workbook", nargs="?", default=None,
+                        help="directory containing signals.csv, status.csv, "
+                             "test_*.csv (omit to use the bundled suite of --dut)")
+    parser.add_argument("--dut", default=None, metavar="NAME",
+                        help="registered DUT whose bundled suite to campaign "
+                             "(required when no workbook is given)")
+    parser.add_argument("--stand", choices=targets.stand_names(), default=None,
+                        help="which virtual test stand to use (default: one "
+                             "that carries the DUT's adapter)")
     parser.add_argument("--policy", choices=ALLOCATION_POLICIES,
                         default="first_fit", help="resource allocation policy")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -258,55 +194,34 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
                              "(default: 1; 0 disables retrying)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the campaign summary line")
+    parser.add_argument("--list-targets", action="store_true",
+                        help="list the registered DUTs and stands, then exit")
     args = parser.parse_args(argv)
 
-    try:
-        suite = load_suite(args.workbook)
-    except Exception as exc:
-        print(f"error: cannot load workbook {args.workbook!r}: {exc}", file=sys.stderr)
-        return 2
-    target = CAMPAIGN_TARGETS.get(suite.dut)
-    if target is None:
-        print(f"error: no fault catalogue for DUT {suite.dut!r}; "
-              f"campaignable DUTs: {sorted(CAMPAIGN_TARGETS)}", file=sys.stderr)
-        return 2
+    if args.list_targets:
+        _print_target_listing()
+        return 0
+    if args.workbook is None and args.dut is None:
+        parser.error("a workbook directory or --dut NAME is required")
 
-    scripts = Compiler().compile_suite(suite)
-    catalogue = target.faults_factory()
-    if args.faults:
-        names = [name.strip() for name in args.faults.split(",") if name.strip()]
-        try:
-            faults = [catalogue.get(name)
-                      for name in dict.fromkeys(names)]  # dedupe, keep order
-        except Exception as exc:
-            print(f"error: {exc}; known faults: {', '.join(catalogue.names)}",
-                  file=sys.stderr)
-            return 2
-    else:
-        faults = list(catalogue)
-
-    stand_factory = _campaign_stand_factory(args.stand, target)
-    if stand_factory is None:
-        print(f"error: stand {args.stand!r} has no adapter for DUT "
-              f"{suite.dut!r}; use one of {sorted(ADAPTABLE_STANDS)}",
-              file=sys.stderr)
-        return 2
-
-    campaign = FaultCampaign(
-        scripts,
-        target.signals_factory(),
-        stand_factory,
-        target.harness_factory,
-        target.ecu_factory,
+    spec = CampaignSpec(
+        dut=args.dut,
+        workbook=args.workbook,
+        stand=args.stand,
+        faults=args.faults,  # comma-separated; parsed by CampaignSpec
         policy=args.policy,
-        executor=make_executor(args.backend, args.jobs),
-        max_attempts=1 + max(0, args.retries),
+        backend=args.backend,
+        jobs=args.jobs,
+        retries=args.retries,
     )
     try:
-        result = campaign.run(faults)
+        result = targets.run_campaign(spec)
+    except TargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except Exception as exc:
         print(f"error: campaign failed: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
     if not args.quiet:
         print(result.table())
@@ -315,6 +230,19 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
         # Timing is scheduling-dependent, so it goes to stderr: stdout stays
         # byte-identical across --jobs / --backend choices.
         print(result.execution.summary(), file=sys.stderr)
+    # An ERROR verdict on the *healthy* baseline means the campaign could
+    # not actually be executed (allocation failure, unknown signal,
+    # instrument fault) - an infrastructure problem, never a statement
+    # about the DUT; without this check it would masquerade as a dirty
+    # baseline or even as detections.  An ERROR that appears only under an
+    # injected fault is attributable to that fault and counts as a
+    # legitimate detection.
+    if any(r.verdict is Verdict.ERROR for r in result.baseline):
+        where = ("re-run without --quiet for the per-script detail"
+                 if args.quiet else "see table")
+        print(f"error: the baseline contains ERROR verdicts ({where}); "
+              "the campaign could not actually be executed", file=sys.stderr)
+        return EXIT_ERROR
     # Exit 1 only for genuine regressions: a dirty baseline, or a fault the
     # catalogue expects the suite to catch slipping through.  Detecting a
     # fault that was *not* expected to be caught is a pleasant surprise (a
@@ -332,7 +260,11 @@ def main_report(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("script", help="path of the XML test script")
     args = parser.parse_args(argv)
 
-    script = read_script(args.script)
+    try:
+        script = read_script(args.script)
+    except Exception as exc:
+        print(f"error: cannot read script {args.script!r}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     print(f"script    : {script.name}")
     print(f"DUT       : {script.dut}")
     print(f"steps     : {len(script.steps)}")
@@ -342,6 +274,66 @@ def main_report(argv: Sequence[str] | None = None) -> int:
     print(f"methods   : {', '.join(script.methods_used())}")
     print(f"variables : {', '.join(script.variables) or '-'}")
     return 0
+
+
+# -- deprecated shims -----------------------------------------------------------
+#
+# Before the repro.targets registry existed this module owned the wiring
+# tables.  The historical names below are kept as thin views of the registry
+# so pre-existing imports keep working; new code should use repro.targets.
+
+class CampaignTarget(NamedTuple):
+    """Deprecated: use :class:`repro.targets.DutTarget` instead."""
+
+    ecu_factory: Callable[[], object]
+    harness_factory: Callable[[object], TestHarness]
+    signals_factory: Callable[[], object]
+    faults_factory: Callable[[], FaultCatalogue]
+    pins: tuple[str, ...] | None = None
+
+
+def _campaign_targets() -> dict[str, CampaignTarget]:
+    return {
+        target.name: CampaignTarget(
+            target.ecu_factory, target.harness_factory,
+            target.signals_factory, target.faults_factory, target.pins,
+        )
+        for target in targets.iter_duts()
+        if target.campaignable
+    }
+
+
+def __getattr__(name: str):
+    # Live, read-only views of the registry (PEP 562): legacy readers of
+    # these names see registrations made after this module was imported,
+    # exactly like ``--list-targets`` does.  The views are mapping proxies
+    # so that old-style in-place registration (``STAND_BUILDERS["lab"] =
+    # ...``) fails loudly instead of mutating a throwaway snapshot - such
+    # code must move to repro.targets.register_stand / register_dut.
+    from types import MappingProxyType
+
+    if name == "CAMPAIGN_TARGETS":
+        return MappingProxyType(_campaign_targets())
+    if name == "STAND_BUILDERS":
+        return MappingProxyType(
+            {stand.name: stand.builder for stand in targets.iter_stands()}
+        )
+    if name == "ADAPTABLE_STANDS":
+        return targets.adaptable_stand_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _dut_registry() -> dict[str, Callable[[], TestHarness]]:
+    """Deprecated: harness factories per DUT (use :func:`repro.targets.get_dut`)."""
+    return {target.name: target.build_harness for target in targets.iter_duts()}
+
+
+def _campaign_stand_factory(stand: str, target: CampaignTarget):
+    """Deprecated: use :func:`repro.targets.stand_factory_for` instead."""
+    try:
+        return targets.get_stand(stand).factory_for(target.pins)
+    except TargetError:
+        return None
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

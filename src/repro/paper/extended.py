@@ -35,6 +35,7 @@ __all__ = [
     "locking_status_table",
     "locking_test_definitions",
     "locking_suite",
+    "locking_harness",
     "build_locking_harness",
 ]
 
@@ -213,10 +214,16 @@ def locking_suite() -> TestSuite:
     return suite
 
 
-def build_locking_harness(*, ubatt: float = 12.0) -> TestHarness:
-    """The central-locking ECU wired with its LED and actuator loads."""
+def locking_harness(ecu: CentralLockingEcu | None = None, *,
+                    ubatt: float = 12.0) -> TestHarness:
+    """The central-locking ECU wired with its LED and actuator loads.
+
+    Like :func:`repro.paper.example.interior_harness` this accepts an
+    optional (possibly faulty) ECU instance: it is the picklable harness
+    factory used by central-locking campaign jobs.
+    """
     return TestHarness(
-        CentralLockingEcu(),
+        ecu if ecu is not None else CentralLockingEcu(),
         body_can_database(),
         ubatt=ubatt,
         loads=(
@@ -224,3 +231,8 @@ def build_locking_harness(*, ubatt: float = 12.0) -> TestHarness:
             LoadSpec("LOCK_ACT", ohms=3.0, name="lock_actuator"),
         ),
     )
+
+
+def build_locking_harness(*, ubatt: float = 12.0) -> TestHarness:
+    """A fresh healthy central-locking harness (kept for existing callers)."""
+    return locking_harness(ubatt=ubatt)

@@ -1,0 +1,437 @@
+"""The remaining body-electronics projects: wiper, window lifter, exterior light.
+
+The paper's reuse argument is that one status vocabulary and one sheet
+format serve a whole family of control units.  :mod:`repro.paper.example`
+and :mod:`repro.paper.extended` cover the interior light and the central
+locking projects; this module completes the bundled body-electronics family
+with component-test suites for the three remaining ECU models:
+
+* :func:`wiper_suite`          - stalk modes, interval wiping, wash cycle,
+* :func:`window_lifter_suite`  - travel, end stops, interlock, plausibility,
+* :func:`exterior_light_suite` - manual/automatic low beam, DRL, parking light.
+
+All three projects share :func:`family_status_table`, which extends the
+paper's ``Off``/``Open``/``Closed``/``0``/``1``/``Lo``/``Ho`` vocabulary with
+the family's CAN payload statuses - the same knowledge-reuse effect the
+locking project demonstrates, now across five DUTs.
+
+The module-level harness factories (``wiper_harness`` etc.) accept an
+optional (possibly faulty) ECU instance, mirroring
+:func:`repro.paper.example.interior_harness`: they are the picklable
+harness factories that campaign jobs on the process backend require.
+"""
+
+from __future__ import annotations
+
+from ..core.signals import Signal, SignalDirection, SignalKind, SignalSet
+from ..core.status import StatusDefinition, StatusTable
+from ..core.testdef import TestDefinition, TestSuite
+from ..dut.exterior_light import ExteriorLightEcu
+from ..dut.harness import LoadSpec, TestHarness
+from ..dut.messages import body_can_database
+from ..dut.window_lifter import WindowLifterEcu
+from ..dut.wiper import WiperEcu
+from .example import paper_status_table
+
+__all__ = [
+    "family_status_table",
+    "wiper_signal_set",
+    "wiper_harness",
+    "wiper_test_definitions",
+    "wiper_suite",
+    "window_lifter_signal_set",
+    "window_lifter_harness",
+    "window_lifter_test_definitions",
+    "window_lifter_suite",
+    "exterior_light_signal_set",
+    "exterior_light_harness",
+    "exterior_light_test_definitions",
+    "exterior_light_suite",
+]
+
+
+def family_status_table() -> StatusTable:
+    """The shared paper vocabulary plus the body-family payload statuses."""
+    additions = StatusTable(
+        (
+            StatusDefinition.from_cells("IgnOn", "put_can", "data", nominal="10B",
+                                        description="ignition run"),
+            StatusDefinition.from_cells("WipeOff", "put_can", "data", nominal="0B",
+                                        description="wiper stalk off"),
+            StatusDefinition.from_cells("Interval", "put_can", "data", nominal="1B",
+                                        description="wiper stalk interval position"),
+            StatusDefinition.from_cells("Slow", "put_can", "data", nominal="10B",
+                                        description="wiper stalk slow position"),
+            StatusDefinition.from_cells("Fast", "put_can", "data", nominal="11B",
+                                        description="wiper stalk fast position"),
+            StatusDefinition.from_cells("SwOff", "put_can", "data", nominal="0B",
+                                        description="light switch off"),
+            StatusDefinition.from_cells("SwAuto", "put_can", "data", nominal="1B",
+                                        description="light switch automatic"),
+            StatusDefinition.from_cells("SwOn", "put_can", "data", nominal="10B",
+                                        description="light switch on"),
+            StatusDefinition.from_cells("Shut", "get_can", "data",
+                                        minimum="0", maximum="1",
+                                        description="window reported closed"),
+            StatusDefinition.from_cells("MidOpen", "get_can", "data",
+                                        minimum="15", maximum="25",
+                                        description="window reported about 20 % open"),
+        ),
+        name="family_additions",
+    )
+    return paper_status_table().merged_with(additions, name="family_status")
+
+
+# ---------------------------------------------------------------------------
+# Wiper project
+# ---------------------------------------------------------------------------
+
+def wiper_signal_set() -> SignalSet:
+    """Signal definition sheet of the wiper project."""
+    return SignalSet(
+        (
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="IGN_STATUS", initial_status="Off",
+                   description="ignition status over CAN"),
+            Signal("WIPER", SignalDirection.INPUT, SignalKind.BUS,
+                   message="WIPER_COMMAND", initial_status="WipeOff",
+                   description="wiper stalk position over CAN"),
+            Signal("WASH_SW", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("WASH_SW",), initial_status="Closed",
+                   description="washer push button"),
+            Signal("WIPER_MOTOR", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("WIPER_MOTOR",), initial_status="Lo",
+                   description="wiper motor supply output"),
+            Signal("WIPER_FAST", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("WIPER_FAST",), initial_status="Lo",
+                   description="fast-speed relay output"),
+            Signal("WASH_PUMP", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("WASH_PUMP",), initial_status="Lo",
+                   description="washer pump supply output"),
+        ),
+        dut=WiperEcu.NAME,
+    )
+
+
+def wiper_harness(ecu: WiperEcu | None = None, *, ubatt: float = 12.0) -> TestHarness:
+    """The wiper ECU wired with its motor, pump and relay loads."""
+    return TestHarness(
+        ecu if ecu is not None else WiperEcu(),
+        body_can_database(),
+        ubatt=ubatt,
+        loads=(
+            LoadSpec("WIPER_MOTOR", ohms=2.0, name="wiper_motor"),
+            LoadSpec("WASH_PUMP", ohms=4.0, name="wash_pump"),
+            LoadSpec("WIPER_FAST", ohms=200.0, name="fast_relay_coil"),
+        ),
+    )
+
+
+def _wiper_continuous() -> TestDefinition:
+    test = TestDefinition(
+        "continuous_wiping",
+        signals=("IGN_ST", "WIPER", "WIPER_MOTOR", "WIPER_FAST"),
+        description="Slow and fast stalk positions drive the motor continuously",
+        requirement="REQ_WIPER_CONT",
+    )
+    test.add_step(0.5, {"IGN_ST": "Off", "WIPER": "Slow",
+                        "WIPER_MOTOR": "Lo", "WIPER_FAST": "Lo"},
+                  remark="no wiping without ignition")
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIPER_MOTOR": "Ho", "WIPER_FAST": "Lo"},
+                  remark="ignition on: slow wiping")
+    test.add_step(0.5, {"WIPER": "Fast", "WIPER_MOTOR": "Ho", "WIPER_FAST": "Ho"},
+                  remark="fast adds the relay")
+    test.add_step(0.5, {"WIPER": "WipeOff", "WIPER_MOTOR": "Lo", "WIPER_FAST": "Lo"},
+                  remark="stalk off stops")
+    return test
+
+
+def _wiper_interval() -> TestDefinition:
+    # Timing walk-through (healthy ECU, 1 s wipes every 5 s):
+    # stalk to interval at t=0.5 -> wipe 0.5..1.5, pause 1.5..6.5, wipe 6.5..7.5.
+    test = TestDefinition(
+        "interval_wiping",
+        signals=("IGN_ST", "WIPER", "WIPER_MOTOR"),
+        description="Interval position pulses the motor: 1 s wipe every 5 s",
+        requirement="REQ_WIPER_INT",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIPER": "WipeOff", "WIPER_MOTOR": "Lo"},
+                  remark="ignition on, stalk off")
+    test.add_step(0.5, {"WIPER": "Interval", "WIPER_MOTOR": "Ho"},
+                  remark="first wipe starts at once")
+    test.add_step(1.0, {"WIPER_MOTOR": "Lo"}, remark="pause after the wipe")
+    test.add_step(2.0, {"WIPER_MOTOR": "Lo"}, remark="still inside the pause")
+    test.add_step(3.0, {"WIPER_MOTOR": "Ho"}, remark="next interval wipe")
+    test.add_step(0.5, {"WIPER": "WipeOff", "WIPER_MOTOR": "Lo"},
+                  remark="stalk off cancels")
+    return test
+
+
+def _wiper_washing() -> TestDefinition:
+    # Wash released at t=1.5 -> three 1 s after-wash wipes until t=4.5.
+    test = TestDefinition(
+        "wash_cycle",
+        signals=("IGN_ST", "WASH_SW", "WASH_PUMP", "WIPER_MOTOR"),
+        description="Washer button runs the pump and triggers after-wash wipes",
+        requirement="REQ_WIPER_WASH",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WASH_SW": "Closed",
+                        "WASH_PUMP": "Lo", "WIPER_MOTOR": "Lo"},
+                  remark="idle")
+    test.add_step(1.0, {"WASH_SW": "Open", "WASH_PUMP": "Ho", "WIPER_MOTOR": "Ho"},
+                  remark="washing: pump and motor")
+    test.add_step(1.0, {"WASH_SW": "Closed", "WASH_PUMP": "Lo", "WIPER_MOTOR": "Ho"},
+                  remark="after-wash wipes run on")
+    test.add_step(3.0, {"WIPER_MOTOR": "Lo", "WASH_PUMP": "Lo"},
+                  remark="after-wash wipes done")
+    return test
+
+
+def wiper_test_definitions() -> tuple[TestDefinition, ...]:
+    """The three test sheets of the wiper project."""
+    return (_wiper_continuous(), _wiper_interval(), _wiper_washing())
+
+
+def wiper_suite() -> TestSuite:
+    """The wiper project's complete suite."""
+    suite = TestSuite(
+        WiperEcu.NAME,
+        wiper_signal_set(),
+        family_status_table(),
+        wiper_test_definitions(),
+        description="Component tests of the wiper control ECU",
+    )
+    suite.validate()
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# Window lifter project
+# ---------------------------------------------------------------------------
+
+def window_lifter_signal_set() -> SignalSet:
+    """Signal definition sheet of the window lifter project."""
+    return SignalSet(
+        (
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="IGN_STATUS", initial_status="Off",
+                   description="ignition status over CAN"),
+            Signal("WIN_SW_UP", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("WIN_SW_UP",), initial_status="Closed",
+                   description="window switch, up direction"),
+            Signal("WIN_SW_DOWN", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("WIN_SW_DOWN",), initial_status="Closed",
+                   description="window switch, down direction"),
+            Signal("WIN_MOTOR_UP", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("WIN_MOTOR_UP",), initial_status="Lo",
+                   description="motor drive, closing direction"),
+            Signal("WIN_MOTOR_DOWN", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("WIN_MOTOR_DOWN",), initial_status="Lo",
+                   description="motor drive, opening direction"),
+            Signal("WIN_POS", SignalDirection.OUTPUT, SignalKind.BUS,
+                   message="WINDOW_POSITION",
+                   description="window position report over CAN"),
+        ),
+        dut=WindowLifterEcu.NAME,
+    )
+
+
+def window_lifter_harness(ecu: WindowLifterEcu | None = None, *,
+                          ubatt: float = 12.0) -> TestHarness:
+    """The window lifter ECU wired with its two motor loads."""
+    return TestHarness(
+        ecu if ecu is not None else WindowLifterEcu(),
+        body_can_database(),
+        ubatt=ubatt,
+        loads=(
+            LoadSpec("WIN_MOTOR_UP", ohms=2.0, name="motor_up"),
+            LoadSpec("WIN_MOTOR_DOWN", ohms=2.0, name="motor_down"),
+        ),
+    )
+
+
+def _window_open_and_close() -> TestDefinition:
+    # Travel rate 10 %/s: down 0.5..2.5 opens to 20 %, up 4.5..6.5 closes it.
+    test = TestDefinition(
+        "open_and_close",
+        signals=("IGN_ST", "WIN_SW_UP", "WIN_SW_DOWN",
+                 "WIN_MOTOR_UP", "WIN_MOTOR_DOWN", "WIN_POS"),
+        description="Window travel with position report and end-stop cut-off",
+        requirement="REQ_WIN_TRAVEL",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIN_SW_UP": "Closed",
+                        "WIN_SW_DOWN": "Closed", "WIN_MOTOR_UP": "Lo",
+                        "WIN_MOTOR_DOWN": "Lo", "WIN_POS": "Shut"},
+                  remark="ignition on, window shut")
+    test.add_step(2.0, {"WIN_SW_DOWN": "Open", "WIN_MOTOR_DOWN": "Ho",
+                        "WIN_MOTOR_UP": "Lo", "WIN_POS": "MidOpen"},
+                  remark="opening for 2 s -> 20 %")
+    test.add_step(2.0, {"WIN_SW_DOWN": "Closed", "WIN_MOTOR_DOWN": "Lo",
+                        "WIN_POS": "MidOpen"},
+                  remark="switch released: motor stops")
+    test.add_step(1.0, {"WIN_SW_UP": "Open", "WIN_MOTOR_UP": "Ho",
+                        "WIN_MOTOR_DOWN": "Lo"},
+                  remark="closing again")
+    test.add_step(2.0, {"WIN_MOTOR_UP": "Lo", "WIN_POS": "Shut"},
+                  remark="end stop cuts the motor")
+    test.add_step(0.5, {"WIN_SW_UP": "Closed", "WIN_MOTOR_UP": "Lo"},
+                  remark="idle again")
+    return test
+
+
+def _window_interlock() -> TestDefinition:
+    test = TestDefinition(
+        "interlock_and_plausibility",
+        signals=("IGN_ST", "WIN_SW_UP", "WIN_SW_DOWN",
+                 "WIN_MOTOR_UP", "WIN_MOTOR_DOWN"),
+        description="No movement without ignition or with both switches pressed",
+        requirement="REQ_WIN_SAFETY",
+    )
+    test.add_step(0.5, {"IGN_ST": "Off", "WIN_SW_DOWN": "Open",
+                        "WIN_MOTOR_DOWN": "Lo"},
+                  remark="ignition off: interlock")
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIN_SW_UP": "Open",
+                        "WIN_MOTOR_DOWN": "Lo", "WIN_MOTOR_UP": "Lo"},
+                  remark="both pressed: no request")
+    test.add_step(0.5, {"WIN_SW_UP": "Closed", "WIN_MOTOR_DOWN": "Ho"},
+                  remark="down alone moves")
+    test.add_step(0.5, {"WIN_SW_DOWN": "Closed", "WIN_MOTOR_DOWN": "Lo"},
+                  remark="released: stops")
+    return test
+
+
+def window_lifter_test_definitions() -> tuple[TestDefinition, ...]:
+    """The two test sheets of the window lifter project."""
+    return (_window_open_and_close(), _window_interlock())
+
+
+def window_lifter_suite() -> TestSuite:
+    """The window lifter project's complete suite."""
+    suite = TestSuite(
+        WindowLifterEcu.NAME,
+        window_lifter_signal_set(),
+        family_status_table(),
+        window_lifter_test_definitions(),
+        description="Component tests of the window lifter ECU",
+    )
+    suite.validate()
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# Exterior light project
+# ---------------------------------------------------------------------------
+
+def exterior_light_signal_set() -> SignalSet:
+    """Signal definition sheet of the exterior light project."""
+    return SignalSet(
+        (
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="IGN_STATUS", initial_status="Off",
+                   description="ignition status over CAN"),
+            Signal("LIGHT_SW", SignalDirection.INPUT, SignalKind.BUS,
+                   message="LIGHT_SWITCH", initial_status="SwOff",
+                   description="light switch position over CAN"),
+            Signal("NIGHT", SignalDirection.INPUT, SignalKind.BUS,
+                   message="LIGHT_SENSOR", initial_status="0",
+                   description="night bit from the light sensor"),
+            Signal("PARK_SW", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("PARK_SW",), initial_status="Closed",
+                   description="parking light request switch"),
+            Signal("LOW_BEAM", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("LOW_BEAM",), initial_status="Lo",
+                   description="low beam supply output"),
+            Signal("DRL", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("DRL",), initial_status="Lo",
+                   description="daytime running light output"),
+            Signal("POSITION_LIGHT", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("POSITION_LIGHT",), initial_status="Lo",
+                   description="position light output"),
+        ),
+        dut=ExteriorLightEcu.NAME,
+    )
+
+
+def exterior_light_harness(ecu: ExteriorLightEcu | None = None, *,
+                           ubatt: float = 12.0) -> TestHarness:
+    """The exterior light ECU wired with its three lamp loads."""
+    return TestHarness(
+        ecu if ecu is not None else ExteriorLightEcu(),
+        body_can_database(),
+        ubatt=ubatt,
+        loads=(
+            LoadSpec("LOW_BEAM", ohms=4.0, name="low_beam_lamp"),
+            LoadSpec("DRL", ohms=8.0, name="drl_lamp"),
+            LoadSpec("POSITION_LIGHT", ohms=20.0, name="position_lamp"),
+        ),
+    )
+
+
+def _light_manual() -> TestDefinition:
+    test = TestDefinition(
+        "manual_switching",
+        signals=("IGN_ST", "LIGHT_SW", "LOW_BEAM", "DRL", "POSITION_LIGHT"),
+        description="Switch position 'on' drives low beam; DRL otherwise",
+        requirement="REQ_LIGHT_MANUAL",
+    )
+    test.add_step(0.5, {"IGN_ST": "Off", "LIGHT_SW": "SwOn", "LOW_BEAM": "Lo",
+                        "DRL": "Lo", "POSITION_LIGHT": "Lo"},
+                  remark="no lights without ignition")
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "LOW_BEAM": "Ho", "DRL": "Lo",
+                        "POSITION_LIGHT": "Ho"},
+                  remark="low beam on, DRL off")
+    test.add_step(0.5, {"LIGHT_SW": "SwOff", "LOW_BEAM": "Lo", "DRL": "Ho",
+                        "POSITION_LIGHT": "Lo"},
+                  remark="switch off: DRL takes over")
+    return test
+
+
+def _light_automatic() -> TestDefinition:
+    test = TestDefinition(
+        "automatic_light",
+        signals=("IGN_ST", "LIGHT_SW", "NIGHT", "LOW_BEAM", "DRL"),
+        description="Automatic position follows the light sensor",
+        requirement="REQ_LIGHT_AUTO",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "LIGHT_SW": "SwAuto", "NIGHT": "0",
+                        "LOW_BEAM": "Lo", "DRL": "Ho"},
+                  remark="automatic by day: DRL")
+    test.add_step(0.5, {"NIGHT": "1", "LOW_BEAM": "Ho", "DRL": "Lo"},
+                  remark="darkness: low beam")
+    test.add_step(0.5, {"NIGHT": "0", "LOW_BEAM": "Lo", "DRL": "Ho"},
+                  remark="daylight again")
+    return test
+
+
+def _light_parking() -> TestDefinition:
+    test = TestDefinition(
+        "parking_light",
+        signals=("IGN_ST", "PARK_SW", "POSITION_LIGHT", "LOW_BEAM"),
+        description="Position light on request with ignition off",
+        requirement="REQ_LIGHT_PARK",
+    )
+    test.add_step(0.5, {"IGN_ST": "Off", "PARK_SW": "Closed", "POSITION_LIGHT": "Lo"},
+                  remark="idle, ignition off")
+    test.add_step(0.5, {"PARK_SW": "Open", "POSITION_LIGHT": "Ho", "LOW_BEAM": "Lo"},
+                  remark="parking light requested")
+    test.add_step(0.5, {"PARK_SW": "Closed", "POSITION_LIGHT": "Lo"},
+                  remark="request released")
+    return test
+
+
+def exterior_light_test_definitions() -> tuple[TestDefinition, ...]:
+    """The three test sheets of the exterior light project."""
+    return (_light_manual(), _light_automatic(), _light_parking())
+
+
+def exterior_light_suite() -> TestSuite:
+    """The exterior light project's complete suite."""
+    suite = TestSuite(
+        ExteriorLightEcu.NAME,
+        exterior_light_signal_set(),
+        family_status_table(),
+        exterior_light_test_definitions(),
+        description="Component tests of the exterior light ECU",
+    )
+    suite.validate()
+    return suite

@@ -221,6 +221,15 @@ def build_minimal_bench(
         connections.add(Route("BENCH_DEC1", "a", pin, DirectWire(f"P{plug}")))
         connections.add(Route("BENCH_DEC2", "a", pin, DirectWire(f"P{plug + 1}")))
         plug += 2
+    # The handheld DVM's probe can touch any adapter plug, so every non-lamp
+    # pin also gets a single-ended (against ground) measuring wire.  This is
+    # what makes the bench usable for DUT adapters beyond the paper pinning
+    # (motor and lamp outputs measured pin-to-ground).
+    for pin in pins:
+        if pin in ("INT_ILL_F", "INT_ILL_R"):
+            continue
+        connections.add(Route("BENCH_DVM", "hi", pin, DirectWire(f"P{plug}")))
+        plug += 1
     return TestStand(
         name="minimal_bench",
         resources=resources,

@@ -1,0 +1,114 @@
+"""Tests for the body-electronics family suites and fault catalogues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    exterior_light_faults,
+    window_lifter_faults,
+    wiper_faults,
+)
+from repro.core import Compiler
+from repro.paper import (
+    exterior_light_suite,
+    family_status_table,
+    window_lifter_suite,
+    wiper_suite,
+)
+from repro.targets import CampaignSpec, RunSpec, run_campaign, run_single
+
+FAMILY = (
+    (wiper_suite, wiper_faults, "fast_relay_weak"),
+    (window_lifter_suite, window_lifter_faults, "travel_slightly_slow"),
+    (exterior_light_suite, exterior_light_faults, "drl_dim"),
+)
+
+
+class TestFamilySuites:
+    @pytest.mark.parametrize("suite_factory", [f for f, _, _ in FAMILY])
+    @pytest.mark.parametrize("stand", ["big_rack", "minimal"])
+    def test_suite_passes_on_adaptable_stands(self, suite_factory, stand):
+        suite = suite_factory()
+        for script in Compiler().compile_suite(suite):
+            result = run_single(RunSpec(script=script, stand=stand))
+            assert result.passed, f"{script.name} failed on {stand}"
+
+    def test_family_reuses_shared_vocabulary(self):
+        statuses = family_status_table()
+        # Paper vocabulary survives...
+        for shared in ("Off", "Open", "Closed", "0", "1", "Lo", "Ho"):
+            assert shared in statuses
+        # ...next to the family payload statuses.
+        for new in ("IgnOn", "Interval", "Fast", "SwAuto", "Shut", "MidOpen"):
+            assert new in statuses
+
+    def test_suite_sheet_counts(self):
+        assert len(wiper_suite()) == 3
+        assert len(window_lifter_suite()) == 2
+        assert len(exterior_light_suite()) == 3
+
+    def test_suites_survive_the_csv_workbook_roundtrip(self, tmp_path):
+        from repro.sheets import load_suite, save_suite
+
+        for suite_factory, _, _ in FAMILY:
+            suite = suite_factory()
+            directory = str(tmp_path / suite.dut)
+            save_suite(suite, directory)
+            loaded = load_suite(directory)
+            assert loaded.dut == suite.dut
+            originals = {s.name: s for s in Compiler().compile_suite(suite)}
+            reloaded = {s.name: s for s in Compiler().compile_suite(loaded)}
+            # CSV files load alphabetically, so only the sheet *set* is
+            # stable; and within one step the sheet column order may permute
+            # the actions (execution applies all stimuli before evaluating
+            # the expectations, so order inside a step carries no meaning).
+            assert sorted(reloaded) == sorted(originals)
+
+            def canonical(script):
+                return [
+                    (step.number, step.duration,
+                     sorted(step.actions, key=lambda a: a.signal))
+                    for step in script.steps
+                ]
+            for name, original in originals.items():
+                again = reloaded[name]
+                assert canonical(again) == canonical(original)
+                assert sorted(again.setup, key=lambda a: a.signal) == \
+                    sorted(original.setup, key=lambda a: a.signal)
+
+
+class TestFamilyFaultCatalogues:
+    @pytest.mark.parametrize("suite_factory,faults_factory,known_gap", FAMILY)
+    def test_detection_matches_catalogue_expectations(
+        self, suite_factory, faults_factory, known_gap
+    ):
+        suite = suite_factory()
+        result = run_campaign(CampaignSpec(dut=suite.dut, stand="big_rack"))
+        assert result.baseline_clean
+        for outcome in result.outcomes:
+            assert outcome.as_expected, (
+                f"{outcome.fault.name}: detected={outcome.detected}, "
+                f"expected={outcome.fault.expected_detected}"
+            )
+        assert result.undetected == (known_gap,)
+
+    @pytest.mark.parametrize("faults_factory", [f for _, f, _ in FAMILY])
+    def test_fault_factories_build_real_ecus(self, faults_factory):
+        from repro.dut.base import EcuModel
+
+        catalogue = faults_factory()
+        assert len(catalogue) >= 6
+        for fault in catalogue:
+            assert isinstance(fault.build(), EcuModel)
+
+    def test_detection_rates_are_stand_independent(self):
+        for suite_factory, _, _ in FAMILY:
+            dut = suite_factory().dut
+            rates = {
+                stand: run_campaign(
+                    CampaignSpec(dut=dut, stand=stand)
+                ).detection_rate
+                for stand in ("big_rack", "minimal")
+            }
+            assert rates["big_rack"] == rates["minimal"], dut

@@ -1,0 +1,443 @@
+"""Tests for the repro.targets registry and the declarative spec API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import targets
+from repro.core import Compiler
+from repro.core.script import MethodCall, ScriptStep, SignalAction, TestScript
+from repro.core.signals import SignalKind
+from repro.paper import wiper_harness, wiper_suite
+from repro.targets import (
+    CampaignSpec,
+    DutTarget,
+    RunSpec,
+    StandTarget,
+    TargetError,
+    derive_signal_set,
+    register_dut,
+    register_stand,
+    run_campaign,
+    run_single,
+    stand_factories_for,
+    stand_factory_for,
+    unregister_dut,
+    unregister_stand,
+)
+from repro.teststand import TestStand, build_minimal_bench
+
+
+ALL_DUTS = ("central_locking_ecu", "exterior_light_ecu", "interior_light_ecu",
+            "window_lifter_ecu", "wiper_ecu")
+
+
+class TestRegistry:
+    def test_all_five_bundled_duts_registered(self):
+        assert targets.dut_names() == ALL_DUTS
+        assert targets.campaignable_dut_names() == ALL_DUTS
+
+    def test_bundled_stands_registered(self):
+        assert targets.stand_names() == ("big_rack", "minimal", "paper")
+        assert targets.adaptable_stand_names() == ("big_rack", "minimal")
+        assert not targets.get_stand("paper").adaptable
+
+    def test_lookup_is_case_insensitive(self):
+        assert targets.get_dut("WIPER_ECU").name == "wiper_ecu"
+        assert targets.get_stand("Big_Rack").name == "big_rack"
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(TargetError, match="unknown DUT"):
+            targets.get_dut("alien_ecu")
+        with pytest.raises(TargetError, match="unknown stand"):
+            targets.get_stand("garage")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(TargetError, match="already registered"):
+            register_dut(targets.get_dut("wiper_ecu"))
+        with pytest.raises(TargetError, match="already registered"):
+            register_stand("paper", build_minimal_bench)
+
+    def test_register_and_unregister_target(self):
+        target = DutTarget(
+            name="toy_ecu",
+            ecu_factory=object,
+            harness_factory=lambda ecu: ecu,
+            signals_factory=tuple,
+        )
+        assert register_dut(target) is target
+        try:
+            assert targets.get_dut("toy_ecu") is target
+            assert not target.campaignable
+            assert "toy_ecu" not in targets.campaignable_dut_names()
+        finally:
+            assert unregister_dut("toy_ecu") is target
+        with pytest.raises(TargetError):
+            targets.get_dut("toy_ecu")
+
+    def test_register_dut_as_decorator(self):
+        @register_dut(name="deco_ecu", harness_factory=lambda ecu: ecu,
+                      signals_factory=tuple, description="decorated")
+        class DecoEcu:
+            NAME = "deco_ecu"
+
+        try:
+            target = targets.get_dut("deco_ecu")
+            assert target.ecu_factory is DecoEcu
+            assert target.description == "decorated"
+        finally:
+            unregister_dut("deco_ecu")
+
+    def test_register_stand_as_decorator(self):
+        @register_stand("deco_bench", adaptable=True)
+        def build_deco_bench(pins=("A",)):
+            return build_minimal_bench()
+
+        try:
+            stand = targets.get_stand("deco_bench")
+            assert stand.adaptable
+            assert isinstance(stand.factory_for(("A", "B"))(), TestStand)
+        finally:
+            unregister_stand("deco_bench")
+
+    def test_register_stand_direct_call_returns_the_builder(self):
+        def build_direct_bench():
+            return build_minimal_bench()
+
+        returned = register_stand("direct_bench", build_direct_bench)
+        try:
+            # Both registration forms pass the builder through unchanged.
+            assert returned is build_direct_bench
+            assert isinstance(returned(), TestStand)
+        finally:
+            unregister_stand("direct_bench")
+
+    def test_stand_factory_for_wires_adapter_pins(self):
+        factory = stand_factory_for("big_rack", "wiper_ecu")
+        stand = factory()
+        pins = {route.pin for route in stand.connections}
+        assert "WIPER_MOTOR" in pins and "WASH_SW" in pins
+
+    def test_stand_factory_for_rejects_non_adaptable(self):
+        with pytest.raises(TargetError, match="no DUT adapter"):
+            stand_factory_for("paper", "wiper_ecu")
+
+    def test_stand_factories_for_skips_non_adaptable(self):
+        factories = stand_factories_for("window_lifter_ecu")
+        assert sorted(factories) == ["big_rack", "minimal"]
+        # The interior DUT uses the paper default pinning: every stand fits.
+        assert sorted(stand_factories_for("interior_light_ecu")) == \
+            ["big_rack", "minimal", "paper"]
+
+    def test_stand_factories_for_explicit_non_adaptable_raises(self):
+        with pytest.raises(TargetError, match="no DUT adapter"):
+            stand_factories_for("wiper_ecu", stands=("paper",))
+
+
+def _script(dut: str, *signal_names: str) -> TestScript:
+    actions = tuple(
+        SignalAction(name.lower(), MethodCall("get_u", {"u_min": "0", "u_max": "1"}))
+        for name in signal_names
+    )
+    return TestScript(name="probe", dut=dut,
+                      steps=[ScriptStep(number=1, duration=0.1, actions=actions)])
+
+
+class TestDeriveSignalSet:
+    def test_pins_and_messages_resolve(self):
+        script = _script("wiper_ecu", "WASH_SW", "WIPER_MOTOR", "WIPER_MODE")
+        signals = derive_signal_set(script, wiper_harness(), warn=None)
+        assert signals.get("WASH_SW").kind is SignalKind.RESISTIVE
+        assert not signals.get("WASH_SW").is_output
+        assert signals.get("WIPER_MOTOR").kind is SignalKind.ANALOG
+        assert signals.get("WIPER_MOTOR").is_output
+        bus = signals.get("WIPER_MODE")
+        assert bus.kind is SignalKind.BUS and bus.message == "WIPER_COMMAND"
+
+    def test_bus_signal_direction_follows_script_usage(self):
+        from repro.paper import window_lifter_harness
+
+        # WIN_POS is only ever *measured* (get_can) by the script, so the
+        # derived sheet must model it as a DUT output, not a stimulus.
+        script = TestScript(
+            name="usage", dut="window_lifter_ecu",
+            steps=[ScriptStep(number=1, duration=0.1, actions=(
+                SignalAction("win_pos",
+                             MethodCall("get_can", {"data_min": "0",
+                                                    "data_max": "1"})),
+                SignalAction("ign_st", MethodCall("put_can", {"data": "10B"})),
+            ))],
+        )
+        signals = derive_signal_set(script, window_lifter_harness(), warn=None)
+        assert signals.get("WIN_POS").is_output
+        assert not signals.get("WIN_POS").is_input
+        assert signals.get("IGN_ST").is_input
+
+    def test_unresolvable_signal_warns_and_is_dropped(self):
+        script = _script("wiper_ecu", "WIPER_MOTOR", "BOGUS")
+        warnings: list[str] = []
+        signals = derive_signal_set(script, wiper_harness(), warn=warnings.append)
+        assert "BOGUS" not in signals and "WIPER_MOTOR" in signals
+        assert len(warnings) == 1
+        assert "bogus" in warnings[0] and "neither a pin" in warnings[0]
+
+    def test_default_warn_goes_to_stderr(self, capsys):
+        script = _script("wiper_ecu", "BOGUS")
+        derive_signal_set(script, wiper_harness())
+        captured = capsys.readouterr()
+        assert "warning" in captured.err and "bogus" in captured.err
+        assert captured.out == ""
+
+    def test_no_warning_when_everything_resolves(self, capsys):
+        script = _script("wiper_ecu", "WIPER_MOTOR")
+        derive_signal_set(script, wiper_harness())
+        assert capsys.readouterr().err == ""
+
+
+class TestRunSingle:
+    def test_run_single_with_registered_signals(self):
+        suite = wiper_suite()
+        script = Compiler().compile_test(suite, "continuous_wiping")
+        result = run_single(RunSpec(script=script, stand="big_rack"))
+        assert result.passed
+
+    def test_run_single_reads_script_from_path(self, tmp_path):
+        from repro.core import write_script
+
+        suite = wiper_suite()
+        script = Compiler().compile_test(suite, "continuous_wiping")
+        path = str(tmp_path / "script.xml")
+        write_script(script, path)
+        result = run_single(RunSpec(script=path, stand="minimal"))
+        assert result.passed
+
+    def test_run_single_unknown_dut(self):
+        with pytest.raises(TargetError, match="unknown DUT"):
+            run_single(RunSpec(script=_script("alien_ecu", "X")))
+
+    def test_run_single_non_adaptable_stand(self):
+        script = Compiler().compile_test(wiper_suite(), "continuous_wiping")
+        with pytest.raises(TargetError, match="no DUT adapter"):
+            run_single(RunSpec(script=script, stand="paper"))
+
+    def test_run_single_rejects_dut_script_mismatch(self):
+        script = Compiler().compile_test(wiper_suite(), "continuous_wiping")
+        with pytest.raises(TargetError, match="run\\s+spec targets"):
+            run_single(RunSpec(script=script, dut="interior_light_ecu"))
+
+
+class TestRunCampaign:
+    def test_campaign_from_bundled_suite(self):
+        result = run_campaign(CampaignSpec(dut="wiper_ecu", stand="big_rack"))
+        assert result.baseline_clean
+        assert "fast_relay_weak" in result.undetected
+
+    def test_default_stand_carries_the_dut_adapter(self):
+        from repro.targets import default_stand_for
+
+        assert default_stand_for("interior_light_ecu") == "paper"
+        assert default_stand_for("wiper_ecu") == "big_rack"
+        # Registration order decides: a later adaptable stand (even one
+        # sorting first alphabetically) must not shift existing defaults.
+        register_stand("aaa_rig", build_minimal_bench, adaptable=True)
+        try:
+            assert default_stand_for("wiper_ecu") == "big_rack"
+        finally:
+            unregister_stand("aaa_rig")
+        # No stand in the spec: every registered DUT campaigns cleanly.
+        result = run_campaign(CampaignSpec(dut="window_lifter_ecu",
+                                           faults=("motor_up_dead",)))
+        assert result.baseline_clean and result.detected == ("motor_up_dead",)
+
+    def test_explicit_executor_overrides_spec_backend(self):
+        from repro.teststand import SerialExecutor
+
+        result = run_campaign(
+            CampaignSpec(dut="wiper_ecu", backend="process", jobs=8,
+                         faults=("motor_stuck_off",)),
+            executor=SerialExecutor(),
+        )
+        assert result.execution.backend == "serial"
+        assert result.execution.workers == 1
+
+    def test_campaign_tables_byte_identical_across_backends(self):
+        tables = {}
+        for backend, jobs in (("serial", 1), ("thread", 3)):
+            result = run_campaign(CampaignSpec(
+                dut="exterior_light_ecu", stand="big_rack",
+                backend=backend, jobs=jobs,
+            ))
+            tables[backend] = result.table() + "\n" + result.summary()
+        assert tables["serial"] == tables["thread"]
+
+    def test_campaign_on_process_backend(self):
+        # Everything in the expanded jobs must be picklable; a fault subset
+        # keeps the pool small and the test quick.
+        serial = run_campaign(CampaignSpec(
+            dut="wiper_ecu", stand="big_rack", faults=("motor_stuck_off",),
+        ))
+        from_process = run_campaign(CampaignSpec(
+            dut="wiper_ecu", stand="big_rack", faults=("motor_stuck_off",),
+            backend="process", jobs=2,
+        ))
+        assert from_process.table() == serial.table()
+
+    def test_campaign_from_workbook_matches_bundled_suite(self, tmp_path):
+        from repro.sheets import save_suite
+
+        workbook = str(tmp_path / "wb")
+        save_suite(wiper_suite(), workbook)
+        from_suite = run_campaign(CampaignSpec(dut="wiper_ecu", stand="big_rack"))
+        from_workbook = run_campaign(CampaignSpec(workbook=workbook, stand="big_rack"))
+        assert from_workbook.table() == from_suite.table()
+
+    def test_fault_selection_order_and_dedupe(self):
+        result = run_campaign(CampaignSpec(
+            dut="wiper_ecu", stand="big_rack",
+            faults=("no_fast_relay", "motor_stuck_off", "no_fast_relay"),
+        ))
+        assert [o.fault.name for o in result.outcomes] == \
+            ["no_fast_relay", "motor_stuck_off"]
+
+    def test_unknown_fault_name(self):
+        with pytest.raises(TargetError, match="known faults"):
+            run_campaign(CampaignSpec(dut="wiper_ecu", stand="big_rack",
+                                      faults=("warp_drive_failure",)))
+
+    def test_faults_accepts_none_as_whole_catalogue(self):
+        assert CampaignSpec(dut="wiper_ecu", faults=None).faults == ()
+
+    def test_faults_accepts_a_comma_separated_string(self):
+        spec = CampaignSpec(dut="wiper_ecu",
+                            faults="motor_stuck_off, no_fast_relay")
+        assert spec.faults == ("motor_stuck_off", " no_fast_relay")
+        result = run_campaign(spec)
+        assert [o.fault.name for o in result.outcomes] == \
+            ["motor_stuck_off", "no_fast_relay"]
+
+    def test_spec_needs_a_suite_source(self):
+        with pytest.raises(TargetError, match="needs a dut"):
+            run_campaign(CampaignSpec())
+
+    def test_suite_dut_mismatch(self):
+        with pytest.raises(TargetError, match="targets"):
+            run_campaign(CampaignSpec(dut="wiper_ecu", suite=__import__(
+                "repro.paper", fromlist=["paper_suite"]).paper_suite(),
+                stand="big_rack"))
+
+    def test_broken_workbook(self, tmp_path):
+        with pytest.raises(TargetError, match="cannot load workbook"):
+            run_campaign(CampaignSpec(workbook=str(tmp_path / "nope")))
+
+    def test_campaign_uses_the_suite_own_signal_sheet(self, tmp_path):
+        # A workbook may rename signals relative to the registered bundled
+        # set; the campaign must execute against the sheet the scripts were
+        # compiled from, not silently swap in the registry's set.
+        from repro.core.signals import Signal, SignalDirection, SignalKind, SignalSet
+        from repro.core.testdef import TestDefinition, TestSuite
+        from repro.paper import family_status_table
+        from repro.sheets import save_suite
+
+        signals = SignalSet(
+            (
+                Signal("IGNITION", SignalDirection.INPUT, SignalKind.BUS,
+                       message="IGN_STATUS", initial_status="Off"),
+                Signal("STALK", SignalDirection.INPUT, SignalKind.BUS,
+                       message="WIPER_COMMAND", initial_status="WipeOff"),
+                Signal("MOTOR", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                       pins=("WIPER_MOTOR",), initial_status="Lo"),
+            ),
+            dut="wiper_ecu",
+        )
+        test = TestDefinition("renamed_signals",
+                              signals=("IGNITION", "STALK", "MOTOR"))
+        test.add_step(0.5, {"IGNITION": "IgnOn", "STALK": "Slow", "MOTOR": "Ho"})
+        test.add_step(0.5, {"STALK": "WipeOff", "MOTOR": "Lo"})
+        suite = TestSuite("wiper_ecu", signals, family_status_table(), (test,))
+        suite.validate()
+        workbook = str(tmp_path / "wb")
+        save_suite(suite, workbook)
+
+        result = run_campaign(CampaignSpec(
+            workbook=workbook, stand="big_rack", faults=("motor_stuck_off",),
+        ))
+        assert result.baseline_clean
+        assert result.detected == ("motor_stuck_off",)
+
+
+class TestDeprecatedShims:
+    """Pre-registry public names must keep resolving (CAMPAIGN_TARGETS era)."""
+
+    def test_cli_campaign_targets_cover_all_five_duts(self):
+        from repro.cli import CAMPAIGN_TARGETS, CampaignTarget
+
+        assert sorted(CAMPAIGN_TARGETS) == list(ALL_DUTS)
+        target = CAMPAIGN_TARGETS["central_locking_ecu"]
+        assert isinstance(target, CampaignTarget)
+        assert target.pins == ("KEY_SW", "UNLOCK_SW", "LOCK_LED", "LOCK_ACT")
+        assert len(target.faults_factory()) == 4
+
+    def test_cli_stand_builders_and_adaptable_stands(self):
+        from repro.cli import ADAPTABLE_STANDS, STAND_BUILDERS
+
+        assert sorted(STAND_BUILDERS) == ["big_rack", "minimal", "paper"]
+        assert isinstance(STAND_BUILDERS["paper"](), TestStand)
+        assert sorted(ADAPTABLE_STANDS) == ["big_rack", "minimal"]
+
+    def test_cli_shims_are_live_registry_views(self):
+        import repro.cli as cli
+
+        register_stand("late_bench", build_minimal_bench)
+        try:
+            assert "late_bench" in cli.STAND_BUILDERS
+        finally:
+            unregister_stand("late_bench")
+        assert "late_bench" not in cli.STAND_BUILDERS
+
+    def test_cli_shims_reject_in_place_mutation(self):
+        import repro.cli as cli
+
+        # Old-style registration by dict assignment must fail loudly, not
+        # silently mutate a throwaway snapshot.
+        with pytest.raises(TypeError):
+            cli.STAND_BUILDERS["lab"] = build_minimal_bench
+        with pytest.raises(TypeError):
+            del cli.CAMPAIGN_TARGETS["wiper_ecu"]
+
+    def test_cli_private_helpers_still_work(self):
+        from repro.cli import CAMPAIGN_TARGETS, _campaign_stand_factory, _dut_registry
+
+        registry = _dut_registry()
+        assert sorted(registry) == list(ALL_DUTS)
+        harness = registry["wiper_ecu"]()
+        assert harness.ecu.name == "wiper_ecu"
+
+        locking = CAMPAIGN_TARGETS["central_locking_ecu"]
+        assert _campaign_stand_factory("paper", locking) is None
+        stand = _campaign_stand_factory("big_rack", locking)()
+        assert "KEY_SW" in {route.pin for route in stand.connections}
+
+    def test_teststand_exports_still_resolve(self):
+        from repro.teststand import (  # noqa: F401
+            ALLOCATION_POLICIES,
+            EXECUTION_BACKENDS,
+            ExecutionReport,
+            Job,
+            JobResult,
+            TestStandInterpreter,
+            build_big_rack,
+            build_minimal_bench,
+            build_paper_stand,
+            expand_jobs,
+            make_executor,
+            run_across_stands,
+            run_jobs,
+        )
+
+    def test_package_level_exports(self):
+        import repro
+
+        assert repro.run_campaign is run_campaign
+        assert repro.CampaignSpec is CampaignSpec
+        assert repro.DutTarget is DutTarget
+        assert repro.StandTarget is StandTarget

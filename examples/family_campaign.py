@@ -8,10 +8,18 @@ control units.  This example walks every campaignable DUT in the
 lifter, wiper and exterior light - runs its bundled suite against its fault
 catalogue on an adaptable stand, and prints one coverage line per DUT.
 
-Faults the catalogue does *not* expect the current sheets to catch (the
-"knowledge gaps" the paper says future sheets must close) are listed
-separately, so the output doubles as the family's open test-knowledge
-backlog.
+Faults that escape their suite (the "knowledge gaps" the paper says future
+sheets must close) are listed separately, so the output doubles as the
+family's open test-knowledge backlog.  Since the current-measurement and
+tightened-timing sheets closed the four catalogued gaps (fast_relay_weak,
+travel_slightly_slow, drl_dim, unlocks_at_speed), a healthy checkout prints
+an empty backlog - seed a new fault without a matching sheet to see the
+listing come back.
+
+Each row also shows the registry's method-coverage negotiation: which
+registered stands can execute the DUT's bundled suite at all (a stand
+without an ammeter cannot serve the get_i sheets and would be rejected
+pre-flight).
 """
 
 import argparse
@@ -21,6 +29,7 @@ from repro.targets import (
     campaignable_dut_names,
     default_stand_for,
     get_dut,
+    method_coverage,
     run_campaign,
 )
 from repro.teststand import EXECUTION_BACKENDS, format_table
@@ -45,6 +54,9 @@ def main() -> None:
         result = run_campaign(CampaignSpec(
             dut=dut, stand=stand, backend=args.backend, jobs=args.jobs,
         ))
+        coverage = method_coverage(target)
+        runnable = ", ".join(name for name, missing in coverage.items()
+                             if missing == ()) or "-"
         rows.append((
             dut,
             stand,
@@ -52,13 +64,15 @@ def main() -> None:
             str(len(result.outcomes)),
             f"{result.detection_rate:.0%}",
             "clean" if result.baseline_clean else "NOT CLEAN",
+            runnable,
         ))
         for outcome in result.outcomes:
             if not outcome.detected:
                 gaps.append((dut, outcome.fault.name, outcome.fault.description))
 
     print(format_table(
-        ("DUT", "stand", "sheets", "faults", "detected", "baseline"), rows))
+        ("DUT", "stand", "sheets", "faults", "detected", "baseline",
+         "runs on"), rows))
     print()
     if gaps:
         print("known test-knowledge gaps (future sheets must close these):")

@@ -71,10 +71,13 @@ from .core import (
 )
 from .targets import (
     CampaignSpec,
+    CapabilityGapError,
     DutTarget,
     RunSpec,
+    SignalDerivationWarning,
     StandTarget,
     TargetError,
+    method_coverage,
     register_dut,
     register_stand,
     run_campaign,
@@ -89,7 +92,7 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -101,6 +104,8 @@ __all__ = [
     "script_to_string", "write_script", "parse_script", "read_script",
     "TestStand", "TestStandInterpreter", "run_script",
     "build_paper_stand", "build_big_rack", "build_minimal_bench",
-    "DutTarget", "StandTarget", "TargetError", "register_dut", "register_stand",
+    "DutTarget", "StandTarget", "TargetError", "CapabilityGapError",
+    "SignalDerivationWarning", "method_coverage",
+    "register_dut", "register_stand",
     "RunSpec", "CampaignSpec", "run_single", "run_campaign",
 ]

@@ -227,12 +227,13 @@ def central_locking_faults() -> FaultCatalogue:
                        _LockIgnoresCanCommand),
             FaultModel("no_auto_lock", "speed-dependent auto lock missing",
                        _LockNoAutoLock),
-            # The bundled locking suite never requests an unlock above
-            # 120 km/h, so the missing inhibition slips through - the same
-            # knowledge gap the paper's ignores_ds_fr example illustrates:
-            # a future sheet has to be added to catch it.
+            # Formerly a catalogued knowledge gap: the original two sheets
+            # never requested an unlock above 120 km/h.  The
+            # unlock_inhibit_at_speed sheet (repro.paper.extended) now asks
+            # for exactly that at 130 km/h and expects the request to be
+            # refused, so the missing inhibition is caught.
             FaultModel("unlocks_at_speed", "unlock inhibition at speed missing",
-                       _LockUnlocksAtSpeed, expected_detected=False),
+                       _LockUnlocksAtSpeed),
             FaultModel("led_stuck_off", "lock LED output broken",
                        _LockLedStuckOff),
         ),
@@ -263,8 +264,8 @@ class _WiperFastRelayWeak(WiperEcu):
     """The relay driver has aged to a high on-resistance.
 
     The 200 Ohm relay coil barely loads the weak driver, so the voltage
-    check still sees a value inside the ``Ho`` window - only a current
-    measurement sheet (not yet in the suite) would catch this one.
+    check still sees a value inside the ``Ho`` window - only the
+    ``fast_relay_current`` ``get_i`` sheet catches this one.
     """
 
     def _apply_outputs(self) -> None:
@@ -320,11 +321,13 @@ def wiper_faults() -> FaultCatalogue:
                        _WiperMotorStuckOff),
             FaultModel("no_fast_relay", "fast-speed relay never asserted",
                        _WiperNoFastRelay),
-            # The suite only checks the relay output's voltage; the weak
-            # driver still reaches the Ho window into the light coil load,
-            # so this defect needs a future get_i sheet to be caught.
+            # Formerly a catalogued knowledge gap: the weak driver still
+            # reaches the Ho *voltage* window into the light coil load.  The
+            # fast_relay_current get_i sheet (repro.paper.family) measures
+            # the coil current (0.004 vs. the healthy 0.005 x UBATT), which
+            # the CoilCurrent window resolves.
             FaultModel("fast_relay_weak", "relay driver on-resistance aged",
-                       _WiperFastRelayWeak, expected_detected=False),
+                       _WiperFastRelayWeak),
             FaultModel("interval_too_short", "interval pause 2 s instead of 5 s",
                        _WiperIntervalTooShort),
             FaultModel("interval_never_repeats", "interval timer never re-arms",
@@ -388,9 +391,9 @@ class _WinTravelTooFast(WindowLifterEcu):
 class _WinTravelSlightlySlow(WindowLifterEcu):
     """An aged motor travels at 9 %/s instead of 10 %/s.
 
-    The position acceptance window (15..25 % after 2 s) still contains the
-    18 % an aged motor reaches, so the suite does not catch this drift - a
-    tighter timing sheet would have to be added.
+    The original position acceptance window (15..25 % after 2 s) still
+    contains the 18 % an aged motor reaches; the ``travel_timing`` sheet's
+    long stroke with its tight 48..52 % window catches the drift.
     """
 
     TRAVEL_RATE = 9.0
@@ -420,10 +423,13 @@ def window_lifter_faults() -> FaultCatalogue:
                        _WinNoEndStopCut),
             FaultModel("travel_too_fast", "window travels at triple speed",
                        _WinTravelTooFast),
-            # 18 % after 2 s still sits inside the 15..25 % acceptance
-            # window, so the aged motor slips through the current sheets.
+            # Formerly a catalogued knowledge gap: 18 % after 2 s still sits
+            # inside the generous MidOpen 15..25 % window.  The travel_timing
+            # sheet (repro.paper.family) measures a 5 s stroke against the
+            # tight HalfOpen 48..52 % window; the aged motor's 45 % falls
+            # outside it.
             FaultModel("travel_slightly_slow", "aged motor, 9 %/s instead of 10 %/s",
-                       _WinTravelSlightlySlow, expected_detected=False),
+                       _WinTravelSlightlySlow),
             FaultModel("position_not_reported", "position broadcast missing",
                        _WinPositionNotReported),
         ),
@@ -463,7 +469,8 @@ class _ExtDrlDim(ExteriorLightEcu):
     """The DRL driver has aged to a higher on-resistance.
 
     Into the 8 Ohm lamp the dimmed output still reads ~0.9 x UBATT, inside
-    the ``Ho`` window, so the voltage sheets do not catch the fading lamp.
+    the ``Ho`` window, so the voltage sheets miss the fading lamp - the
+    ``drl_lamp_current`` ``get_i`` sheet catches it.
     """
 
     def _evaluate(self) -> None:
@@ -501,10 +508,13 @@ def exterior_light_faults() -> FaultCatalogue:
                        _ExtAutoIgnoresSensor),
             FaultModel("drl_always_on", "DRL not suppressed with low beam",
                        _ExtDrlAlwaysOn),
-            # The dimmed driver still reaches the Ho voltage window into
-            # the lamp load; catching it needs a current/brightness sheet.
+            # Formerly a catalogued knowledge gap: the dimmed driver still
+            # reaches the Ho *voltage* window into the lamp load.  The
+            # drl_lamp_current get_i sheet (repro.paper.family) measures the
+            # lamp current (0.114 vs. the healthy 0.122 x UBATT), which the
+            # LampCurrent window resolves.
             FaultModel("drl_dim", "DRL driver on-resistance aged",
-                       _ExtDrlDim, expected_detected=False),
+                       _ExtDrlDim),
             FaultModel("ignores_park_switch", "parking light requests missed",
                        _ExtIgnoresParkSwitch),
             FaultModel("position_without_low_beam", "position light decoupled from low beam",

@@ -146,8 +146,24 @@ def main_run(argv: Sequence[str] | None = None) -> int:
 
 # -- fault campaigns ------------------------------------------------------------
 
+def _coverage_cell(missing: tuple[str, ...] | None) -> str:
+    if missing is None:
+        return "unknown"
+    if not missing:
+        return "ok"
+    return "no " + ", no ".join(missing)
+
+
 def _print_target_listing() -> None:
-    """Print the registered DUTs and stands (``--list-targets``)."""
+    """Print the registered DUTs and stands with their method coverage
+    (``--list-targets``).
+
+    Per DUT the ``coverage:`` line shows every stand carrying the DUT's
+    adapter and whether it supports all methods of the bundled suite
+    (e.g. ``bare_bench no get_i``) - the registration-time capability
+    negotiation that :func:`repro.targets.run_campaign` enforces as a
+    pre-flight check.
+    """
     print("registered DUTs:")
     for target in sorted(targets.iter_duts(), key=lambda t: t.key):
         sheets = len(target.suite_factory()) if target.suite_factory else 0
@@ -156,10 +172,22 @@ def _print_target_listing() -> None:
         print(f"  {target.name}")
         print(f"      {target.description or '-'}")
         print(f"      sheets: {sheets}  faults: {fault_count}  adapter pins: {pins}")
+        if target.required_methods:
+            print(f"      suite methods: {', '.join(target.required_methods)}")
+        coverage = targets.method_coverage(target)
+        if coverage:
+            rendered = "; ".join(
+                f"{stand} {_coverage_cell(missing)}"
+                for stand, missing in coverage.items()
+            )
+            print(f"      coverage: {rendered}")
     print("registered stands:")
     for stand in sorted(targets.iter_stands(), key=lambda t: t.key):
         kind = "adaptable" if stand.adaptable else "fixed paper pinning"
         print(f"  {stand.name} ({kind}): {stand.description or '-'}")
+        methods = ", ".join(stand.methods) if stand.methods is not None \
+            else "unknown (builder could not be probed)"
+        print(f"      methods: {methods}")
 
 
 def main_campaign(argv: Sequence[str] | None = None) -> int:

@@ -21,6 +21,11 @@ class Dvm(Instrument):
     terminals (``lo`` defaults to ground when only one pin is routed) and
     compares it against the limits of the method call, which may be relative
     to the stand's supply voltage.
+
+    ``accuracy`` is an *absolute* tolerance in volts (bench-multimeter
+    convention; default 1 mV), unlike the clamp-style
+    :class:`~repro.instruments.current_probe.CurrentProbe`, whose accuracy
+    is a fraction of the reading.
     """
 
     TERMINALS = ("hi", "lo")

@@ -15,7 +15,12 @@ __all__ = ["OhmMeter"]
 
 
 class OhmMeter(Instrument):
-    """A resistance meter supporting ``get_r``."""
+    """A resistance meter supporting ``get_r``.
+
+    ``accuracy`` is an *absolute* tolerance in ohms (default 0.5 Ohm), the
+    same convention as the :class:`~repro.instruments.dvm.Dvm`; the
+    clamp-style current probe instead quotes a fraction of the reading.
+    """
 
     TERMINALS = ("a",)
 

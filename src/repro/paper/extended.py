@@ -161,6 +161,9 @@ def locking_status_table() -> StatusTable:
                                         description="vehicle speed 0 km/h"),
             StatusDefinition.from_cells("Driving", "put_can", "data", nominal="200",
                                         description="vehicle speed 20 km/h (raw 0.1 km/h)"),
+            StatusDefinition.from_cells("Autobahn", "put_can", "data", nominal="1300",
+                                        description="vehicle speed 130 km/h (raw 0.1 km/h), "
+                                                    "above the unlock inhibition threshold"),
             StatusDefinition.from_cells("IgnOn", "put_can", "data", nominal="10B",
                                         description="ignition run"),
             StatusDefinition.from_cells("Locked", "get_can", "data", nominal="1B",
@@ -174,7 +177,7 @@ def locking_status_table() -> StatusTable:
 
 
 def locking_test_definitions() -> tuple[TestDefinition, ...]:
-    """Two test sheets of the central locking project."""
+    """The three test sheets of the central locking project."""
     remote = TestDefinition(
         "remote_locking",
         signals=("IGN_ST", "LOCK_REQ", "LOCK_LED", "LOCKED"),
@@ -198,7 +201,30 @@ def locking_test_definitions() -> tuple[TestDefinition, ...]:
                   remark="ignition on, standing")
     auto.add_step(0.5, {"SPEED": "Driving", "LOCK_LED": "Ho", "LOCKED": "Locked"},
                   remark="driving off locks the car")
-    return (remote, auto)
+
+    # The unlock inhibition above 120 km/h was a catalogued knowledge gap
+    # (unlocks_at_speed): neither of the two sheets above ever requests an
+    # unlock while driving fast, so a missing inhibition slipped through.
+    # This sheet requests exactly that and expects the request to be refused.
+    inhibit = TestDefinition(
+        "unlock_inhibit_at_speed",
+        signals=("IGN_ST", "SPEED", "LOCK_REQ", "LOCK_LED", "LOCKED"),
+        description="Unlock requests are refused above the safety speed",
+        requirement="REQ_LOCK_INHIBIT",
+    )
+    inhibit.add_step(0.5, {"IGN_ST": "IgnOn", "SPEED": "Autobahn", "LOCK_REQ": "0",
+                           "LOCK_LED": "Ho", "LOCKED": "Locked"},
+                     remark="fast driving auto-locks")
+    inhibit.add_step(0.5, {"LOCK_REQ": "Unlock", "LOCK_LED": "Ho",
+                           "LOCKED": "Locked"},
+                     remark="unlock refused at 130 km/h")
+    inhibit.add_step(0.5, {"SPEED": "Standstill", "LOCK_REQ": "0",
+                           "LOCK_LED": "Ho", "LOCKED": "Locked"},
+                     remark="standing, request released")
+    inhibit.add_step(0.5, {"LOCK_REQ": "Unlock", "LOCK_LED": "Lo",
+                           "LOCKED": "Unlocked"},
+                     remark="standing: unlock works")
+    return (remote, auto, inhibit)
 
 
 def locking_suite() -> TestSuite:

@@ -7,13 +7,26 @@ locking projects; this module completes the bundled body-electronics family
 with component-test suites for the three remaining ECU models:
 
 * :func:`wiper_suite`          - stalk modes, interval wiping, wash cycle,
+  relay coil current,
 * :func:`window_lifter_suite`  - travel, end stops, interlock, plausibility,
-* :func:`exterior_light_suite` - manual/automatic low beam, DRL, parking light.
+  travel-rate timing,
+* :func:`exterior_light_suite` - manual/automatic low beam, DRL, parking
+  light, DRL lamp current.
 
 All three projects share :func:`family_status_table`, which extends the
 paper's ``Off``/``Open``/``Closed``/``0``/``1``/``Lo``/``Ho`` vocabulary with
 the family's CAN payload statuses - the same knowledge-reuse effect the
 locking project demonstrates, now across five DUTs.
+
+The current-measurement statuses (``NoCurrent``/``CoilCurrent``/
+``LampCurrent``) and the tightened ``HalfOpen`` position window were added
+to close catalogued knowledge gaps: aged drivers (``fast_relay_weak``,
+``drl_dim``) still reach the ``Ho`` *voltage* window into their light loads,
+and an aged window motor (``travel_slightly_slow``) still lands inside the
+generous ``MidOpen`` 15..25 % window after 2 s.  Only a ``get_i`` sheet
+resp. a longer, tighter-windowed travel measurement separates them from the
+healthy parts - the paper's point that preserved test knowledge must keep
+growing as escaped defects are understood.
 
 The module-level harness factories (``wiper_harness`` etc.) accept an
 optional (possibly faulty) ECU instance, mirroring
@@ -76,6 +89,26 @@ def family_status_table() -> StatusTable:
             StatusDefinition.from_cells("MidOpen", "get_can", "data",
                                         minimum="15", maximum="25",
                                         description="window reported about 20 % open"),
+            StatusDefinition.from_cells("HalfOpen", "get_can", "data",
+                                        minimum="48", maximum="52",
+                                        description="window reported 50 % open "
+                                                    "(tight travel-rate window)"),
+            # Current statuses are relative to UBATT like Lo/Ho: a driver
+            # sourcing into a fixed load draws a current proportional to the
+            # supply, so the same sheet holds on every stand voltage.
+            StatusDefinition.from_cells("NoCurrent", "get_i", "i",
+                                        nominal="0", minimum="0", maximum="0,001",
+                                        description="output sources no current"),
+            StatusDefinition.from_cells("CoilCurrent", "get_i", "i",
+                                        variable="UBATT", nominal="0,005",
+                                        minimum="0,0045", maximum="0,0055",
+                                        description="relay coil at full drive "
+                                                    "(200 Ohm coil)"),
+            StatusDefinition.from_cells("LampCurrent", "get_i", "i",
+                                        variable="UBATT", nominal="0,122",
+                                        minimum="0,118", maximum="0,126",
+                                        description="DRL lamp at full drive "
+                                                    "(8 Ohm lamp)"),
         ),
         name="family_additions",
     )
@@ -187,9 +220,32 @@ def _wiper_washing() -> TestDefinition:
     return test
 
 
+def _wiper_relay_current() -> TestDefinition:
+    # The fast relay drives a 200 Ohm coil: a healthy 1 Ohm high-side driver
+    # sources UBATT/201 ~ 0.005*UBATT, an aged 50 Ohm driver only UBATT/250 =
+    # 0.004*UBATT - yet both land inside the Ho *voltage* window (0.995 vs.
+    # 0.8 x UBATT), which is exactly how fast_relay_weak escaped the voltage
+    # sheets.  Only the CoilCurrent window separates them.
+    test = TestDefinition(
+        "fast_relay_current",
+        signals=("IGN_ST", "WIPER", "WIPER_FAST"),
+        description="Fast-relay coil current check (catches aged relay drivers)",
+        requirement="REQ_WIPER_RELAY_I",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIPER": "WipeOff",
+                        "WIPER_FAST": "NoCurrent"},
+                  remark="relay released: no coil current")
+    test.add_step(0.5, {"WIPER": "Fast", "WIPER_FAST": "CoilCurrent"},
+                  remark="energised coil draws 0.005 x UBATT")
+    test.add_step(0.5, {"WIPER": "WipeOff", "WIPER_FAST": "NoCurrent"},
+                  remark="released again")
+    return test
+
+
 def wiper_test_definitions() -> tuple[TestDefinition, ...]:
-    """The three test sheets of the wiper project."""
-    return (_wiper_continuous(), _wiper_interval(), _wiper_washing())
+    """The four test sheets of the wiper project."""
+    return (_wiper_continuous(), _wiper_interval(), _wiper_washing(),
+            _wiper_relay_current())
 
 
 def wiper_suite() -> TestSuite:
@@ -300,9 +356,41 @@ def _window_interlock() -> TestDefinition:
     return test
 
 
+def _window_travel_timing() -> TestDefinition:
+    # Tightened travel-rate check: over 5 s the 10 %/s healthy motor reaches
+    # exactly 50 %, an aged 9 %/s motor only 45 %.  The original sheet's
+    # 2 s / MidOpen (15..25 %) window still contained the aged motor's 18 %,
+    # which is how travel_slightly_slow escaped; the longer stroke and the
+    # HalfOpen 48..52 % window resolve the drift.
+    test = TestDefinition(
+        "travel_timing",
+        signals=("IGN_ST", "WIN_SW_UP", "WIN_SW_DOWN",
+                 "WIN_MOTOR_UP", "WIN_MOTOR_DOWN", "WIN_POS"),
+        description="Tight travel-rate window over a long stroke (catches aged motors)",
+        requirement="REQ_WIN_TRAVEL_RATE",
+    )
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "WIN_SW_UP": "Closed",
+                        "WIN_SW_DOWN": "Closed", "WIN_MOTOR_UP": "Lo",
+                        "WIN_MOTOR_DOWN": "Lo", "WIN_POS": "Shut"},
+                  remark="ignition on, window shut")
+    test.add_step(5.0, {"WIN_SW_DOWN": "Open", "WIN_MOTOR_DOWN": "Ho",
+                        "WIN_MOTOR_UP": "Lo", "WIN_POS": "HalfOpen"},
+                  remark="5 s opening -> exactly 50 %")
+    test.add_step(1.0, {"WIN_SW_DOWN": "Closed", "WIN_MOTOR_DOWN": "Lo",
+                        "WIN_POS": "HalfOpen"},
+                  remark="released: position holds")
+    test.add_step(6.0, {"WIN_SW_UP": "Open", "WIN_MOTOR_UP": "Lo",
+                        "WIN_POS": "Shut"},
+                  remark="6 s closing reaches the end stop")
+    test.add_step(0.5, {"WIN_SW_UP": "Closed", "WIN_MOTOR_UP": "Lo"},
+                  remark="idle again")
+    return test
+
+
 def window_lifter_test_definitions() -> tuple[TestDefinition, ...]:
-    """The two test sheets of the window lifter project."""
-    return (_window_open_and_close(), _window_interlock())
+    """The three test sheets of the window lifter project."""
+    return (_window_open_and_close(), _window_interlock(),
+            _window_travel_timing())
 
 
 def window_lifter_suite() -> TestSuite:
@@ -419,9 +507,30 @@ def _light_parking() -> TestDefinition:
     return test
 
 
+def _light_drl_current() -> TestDefinition:
+    # The 8 Ohm DRL lamp draws UBATT/8.2 ~ 0.122*UBATT from a healthy
+    # 0.2 Ohm driver but only UBATT/8.8 ~ 0.114*UBATT from an aged 0.8 Ohm
+    # one - while the lamp *voltage* stays inside Ho in both cases (0.976
+    # vs. 0.909 x UBATT), which is how drl_dim escaped the voltage sheets.
+    test = TestDefinition(
+        "drl_lamp_current",
+        signals=("IGN_ST", "LIGHT_SW", "DRL"),
+        description="DRL lamp current check (catches fading lamps / aged drivers)",
+        requirement="REQ_LIGHT_DRL_I",
+    )
+    test.add_step(0.5, {"IGN_ST": "Off", "LIGHT_SW": "SwOff", "DRL": "NoCurrent"},
+                  remark="ignition off: lamp dark")
+    test.add_step(0.5, {"IGN_ST": "IgnOn", "DRL": "LampCurrent"},
+                  remark="DRL draws 0.122 x UBATT")
+    test.add_step(0.5, {"LIGHT_SW": "SwOn", "DRL": "NoCurrent"},
+                  remark="low beam suppresses the DRL")
+    return test
+
+
 def exterior_light_test_definitions() -> tuple[TestDefinition, ...]:
-    """The three test sheets of the exterior light project."""
-    return (_light_manual(), _light_automatic(), _light_parking())
+    """The four test sheets of the exterior light project."""
+    return (_light_manual(), _light_automatic(), _light_parking(),
+            _light_drl_current())
 
 
 def exterior_light_suite() -> TestSuite:

@@ -22,6 +22,16 @@ extensible registry instead of private CLI tables:
     fallback signal-sheet derivation for scripts whose DUT has no (or an
     incomplete) registered signal set.
 
+Both target kinds also record the two halves of the *stand capability
+negotiation* at registration time: a :class:`StandTarget` probes its
+builder once for the methods its resources support, a :class:`DutTarget`
+reads the methods its bundled suite's statuses bind.  :func:`run_single`
+and :func:`build_campaign` match the two and reject impossible requests
+(e.g. a ``get_i`` sheet on a stand without an ammeter) with a structured
+:class:`CapabilityGapError` *before* any job is built;
+:func:`method_coverage` exposes the same matrix to ``repro-campaign
+--list-targets``.
+
 All five bundled ECUs and all three bundled stands are registered at import
 time, so ``repro-campaign`` covers the whole body-electronics family.  Both
 registration helpers are decorator-friendly::
@@ -37,9 +47,9 @@ registration helpers are decorator-friendly::
 from __future__ import annotations
 
 import functools
-import sys
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from .analysis.campaign import CampaignResult, FaultCampaign
 from .analysis.faults import (
@@ -95,6 +105,8 @@ from .teststand.verdict import TestResult
 
 __all__ = [
     "TargetError",
+    "CapabilityGapError",
+    "SignalDerivationWarning",
     "DutTarget",
     "StandTarget",
     "register_dut",
@@ -112,6 +124,7 @@ __all__ = [
     "stand_factory_for",
     "stand_factories_for",
     "default_stand_for",
+    "method_coverage",
     "derive_signal_set",
     "signal_set_for_script",
     "RunSpec",
@@ -125,6 +138,43 @@ __all__ = [
 
 class TargetError(ReproError):
     """A registry lookup or spec expansion failed."""
+
+
+class CapabilityGapError(TargetError):
+    """A stand has no resource for a method the requested scripts need.
+
+    Raised by :func:`run_single` / :func:`build_campaign` *before* any job
+    is built or executed: what used to surface mid-campaign as per-action
+    ERROR verdicts (an allocation failure deep inside the interpreter) is
+    now a structured pre-flight error.  The CLI maps it - like every other
+    :class:`TargetError` - to exit code 2 (infrastructure, not a verdict).
+
+    Attributes
+    ----------
+    stand:
+        Name of the stand that cannot serve the request.
+    missing:
+        The required method names the stand has no resource for.
+    dut:
+        DUT whose scripts raised the requirement (``None`` for anonymous
+        scripts).
+    supported:
+        The methods the stand *does* support (from its registration-time
+        coverage record).
+    """
+
+    def __init__(self, stand: str, missing: Sequence[str], *,
+                 dut: str | None = None, supported: Sequence[str] = ()):
+        self.stand = str(stand)
+        self.missing = tuple(missing)
+        self.dut = dut
+        self.supported = tuple(supported)
+        what = f"the {dut} scripts" if dut else "the requested scripts"
+        super().__init__(
+            f"test stand {self.stand!r} has no resource for method(s) "
+            f"{', '.join(repr(m) for m in self.missing)} required by {what}; "
+            f"stand methods: {', '.join(self.supported) or '(none)'}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -157,6 +207,12 @@ class DutTarget:
         stand carries.
     description:
         Free text for listings.
+    required_methods:
+        Methods the DUT's bundled suite needs a stand resource for, computed
+        at registration time from the suite's status bindings (``None`` when
+        no suite is bundled or its factory fails).  This is one half of the
+        stand capability negotiation; :attr:`StandTarget.methods` is the
+        other.
 
     All factories should be module-level callables so campaign jobs remain
     picklable for the process backend.
@@ -170,12 +226,35 @@ class DutTarget:
     suite_factory: Callable[[], TestSuite] | None = None
     pins: tuple[str, ...] | None = None
     description: str = ""
+    required_methods: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not str(self.name).strip():
             raise TargetError("DUT target needs a name")
         if self.pins is not None:
             object.__setattr__(self, "pins", tuple(self.pins))
+        if self.required_methods is None and self.suite_factory is not None:
+            # Registration-time half of the capability negotiation: every
+            # status a sheet (or an initial signal status) uses binds a
+            # method, and that set is exactly what the compiled scripts will
+            # ask a stand's allocator for.
+            try:
+                suite = self.suite_factory()
+                required = sorted({
+                    suite.statuses.get(name).method.lower()
+                    for name in suite.statuses_used()
+                })
+            except Exception:
+                required = None
+            object.__setattr__(
+                self, "required_methods",
+                tuple(required) if required is not None else None,
+            )
+        elif self.required_methods is not None:
+            object.__setattr__(
+                self, "required_methods",
+                tuple(str(m).lower() for m in self.required_methods),
+            )
 
     @property
     def key(self) -> str:
@@ -198,20 +277,56 @@ class StandTarget:
     ``adaptable`` stands accept a DUT adapter pin list as their first
     positional argument; non-adaptable stands (the paper stand with its
     fixed switching matrix) only carry the paper's default pinning.
+
+    ``methods`` is the stand's method coverage, computed at registration
+    time by building the stand once (with its default pinning) and reading
+    its resource table.  A stand's resources do not depend on the adapter
+    pins, so one probe build is representative; ``None`` records that the
+    builder could not be probed (coverage unknown - the pre-flight check
+    then degrades to the old allocation-time behaviour).
     """
 
     name: str
     builder: Callable[..., TestStand]
     adaptable: bool = False
     description: str = ""
+    methods: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not str(self.name).strip():
             raise TargetError("stand target needs a name")
+        if self.methods is None:
+            try:
+                probed = sorted(
+                    m.lower() for m in self.builder().methods_supported()
+                )
+            except Exception:
+                probed = None
+            object.__setattr__(
+                self, "methods", tuple(probed) if probed is not None else None
+            )
+        else:
+            object.__setattr__(
+                self, "methods", tuple(str(m).lower() for m in self.methods)
+            )
 
     @property
     def key(self) -> str:
         return self.name.lower()
+
+    def missing_methods(self, required: Iterable[str]) -> tuple[str, ...]:
+        """The *required* methods this stand has no resource for.
+
+        ``wait`` is never missing (the interpreter serves it without a
+        resource).  With unknown coverage (``methods is None``) nothing can
+        be reported missing.
+        """
+        if self.methods is None:
+            return ()
+        return tuple(
+            m for m in dict.fromkeys(str(r).lower() for r in required)
+            if m != "wait" and m not in self.methods
+        )
 
     def factory_for(self, pins: Sequence[str] | None = None) -> Callable[[], TestStand]:
         """A picklable zero-argument stand factory wired to *pins*.
@@ -412,11 +527,65 @@ def stand_factories_for(dut: str | DutTarget,
 
 
 # ---------------------------------------------------------------------------
+# Stand capability negotiation
+# ---------------------------------------------------------------------------
+
+def _require_method_coverage(stand_target: StandTarget,
+                             required: Iterable[str], *,
+                             dut: str | None = None) -> None:
+    """Raise :class:`CapabilityGapError` when *stand_target* cannot serve
+    *required* methods; a no-op when the stand's coverage is unknown."""
+    missing = stand_target.missing_methods(required)
+    if missing:
+        raise CapabilityGapError(
+            stand_target.name, missing, dut=dut,
+            supported=stand_target.methods or (),
+        )
+
+
+def method_coverage(dut: str | DutTarget) -> dict[str, tuple[str, ...] | None]:
+    """Per-stand method coverage for *dut*'s bundled suite.
+
+    For every registered stand that can carry the DUT's adapter, the value
+    is the tuple of bundled-suite methods the stand has **no** resource for
+    (empty tuple = full coverage), or ``None`` when coverage cannot be
+    judged (the DUT bundles no suite, its suite factory failed, or the
+    stand's builder could not be probed).  Stands without an adapter for
+    the DUT do not appear at all.  This is what ``repro-campaign
+    --list-targets`` prints per DUT.
+    """
+    dut_target = get_dut(dut) if isinstance(dut, str) else dut
+    coverage: dict[str, tuple[str, ...] | None] = {}
+    for stand in iter_stands():
+        if dut_target.pins is not None and not stand.adaptable:
+            continue
+        if dut_target.required_methods is None or stand.methods is None:
+            coverage[stand.name] = None
+        else:
+            coverage[stand.name] = stand.missing_methods(
+                dut_target.required_methods
+            )
+    return coverage
+
+
+# ---------------------------------------------------------------------------
 # Signal-set derivation
 # ---------------------------------------------------------------------------
 
-def _warn_stderr(message: str) -> None:
-    print(f"warning: {message}", file=sys.stderr)
+class SignalDerivationWarning(UserWarning):
+    """A script signal resolved to neither a DUT pin nor a CAN message.
+
+    Issued (once per distinct message) by :func:`derive_signal_set`, so
+    callers can filter or assert on derivation problems with the standard
+    :mod:`warnings` machinery instead of scraping stderr.
+    """
+
+
+def _warn_default(message: str) -> None:
+    # Frames above warnings.warn: _warn_default (1), derive_signal_set's
+    # _report closure (2), derive_signal_set (3), its caller (4) - attribute
+    # the warning to the caller, not to this module's internals.
+    warnings.warn(message, SignalDerivationWarning, stacklevel=4)
 
 
 def _directions_from_usage(script: TestScript) -> dict[str, SignalDirection]:
@@ -453,7 +622,7 @@ def derive_signal_set(
     script: TestScript,
     harness: TestHarness,
     *,
-    warn: Callable[[str], None] | None = _warn_stderr,
+    warn: Callable[[str], None] | None = _warn_default,
 ) -> SignalSet:
     """Derive a minimal signal definition sheet from a script and a harness.
 
@@ -463,13 +632,23 @@ def derive_signal_set(
     Directions come from the DUT pin where one exists, else from how the
     script uses the signal (measured = output, stimulated = input).  Names
     that resolve to neither a pin nor a message are reported through *warn*
-    (stderr by default; pass ``None`` to silence) and dropped - executing
-    such a script then yields an ERROR verdict for the affected actions
-    instead of a silent false PASS.
+    (by default a :class:`SignalDerivationWarning` via :func:`warnings.warn`,
+    so callers can filter or assert on them; pass ``None`` to silence) and
+    dropped - executing such a script then yields an ERROR verdict for the
+    affected actions instead of a silent false PASS.  Repeated problems
+    within one derivation are reported only once.
     """
     ecu = harness.ecu
     usage = _directions_from_usage(script)
     derived: list[Signal] = []
+    warned: set[str] = set()
+
+    def _report(message: str) -> None:
+        if warn is None or message in warned:
+            return
+        warned.add(message)
+        warn(message)
+
     for name in script.signals_used():
         if ecu.has_pin(name):
             pin = ecu.pin(name)
@@ -484,12 +663,11 @@ def derive_signal_set(
             except Exception:
                 message = None
         if message is None:
-            if warn is not None:
-                warn(
-                    f"signal {name!r} of script {script.name!r} resolves to "
-                    f"neither a pin of DUT {ecu.name!r} nor a CAN message; "
-                    "dropped from the derived signal set"
-                )
+            _report(
+                f"signal {name!r} of script {script.name!r} resolves to "
+                f"neither a pin of DUT {ecu.name!r} nor a CAN message; "
+                "dropped from the derived signal set"
+            )
             continue
         direction = usage.get(str(name).lower(), SignalDirection.INPUT)
         derived.append(Signal(name, direction, SignalKind.BUS, message=message))
@@ -498,7 +676,7 @@ def derive_signal_set(
 
 def signal_set_for_script(script: TestScript, target: DutTarget,
                           harness: TestHarness, *,
-                          warn: Callable[[str], None] | None = _warn_stderr
+                          warn: Callable[[str], None] | None = _warn_default
                           ) -> SignalSet:
     """The registered signal set when it covers the script, else a derived one."""
     signals = target.signals_factory()
@@ -540,7 +718,13 @@ def run_single(spec: RunSpec) -> TestResult:
             f"spec targets {spec.dut!r}"
         )
     target = get_dut(spec.dut or script.dut)
-    stand = stand_factory_for(spec.stand or default_stand_for(target), target)()
+    stand_target = get_stand(spec.stand or default_stand_for(target))
+    stand_factory = stand_factory_for(stand_target, target)
+    # Pre-flight capability negotiation: reject the run before anything is
+    # built when the stand cannot serve a method the script needs.
+    _require_method_coverage(stand_target, script.methods_used(),
+                             dut=target.name)
+    stand = stand_factory()
     harness = target.build_harness()
     signals = spec.signals if spec.signals is not None \
         else signal_set_for_script(script, target, harness)
@@ -648,15 +832,27 @@ def build_campaign(spec: CampaignSpec, *,
             f"{target.name!r}"
         )
     faults = select_faults(target.faults_factory(), spec.faults)
+    scripts = Compiler().compile_suite(suite)
+    stand_target = get_stand(spec.stand or default_stand_for(target))
+    stand_factory = stand_factory_for(stand_target, target)
+    # Pre-flight capability negotiation: a stand that lacks a resource for
+    # any method the compiled scripts use (e.g. a get_i sheet on a stand
+    # without an ammeter) is rejected here, before a single job is built -
+    # not discovered as ERROR verdicts halfway through the campaign.
+    _require_method_coverage(
+        stand_target,
+        sorted({method for script in scripts for method in script.methods_used()}),
+        dut=target.name,
+    )
     if executor is None:
         executor = make_executor(spec.backend, spec.jobs)
     campaign = FaultCampaign(
-        Compiler().compile_suite(suite),
+        scripts,
         # The scripts were compiled against the suite's own signal sheet, so
         # execution must use that sheet too - a workbook may rename or remap
         # signals relative to the registered bundled set.
         suite.signals,
-        stand_factory_for(spec.stand or default_stand_for(target), target),
+        stand_factory,
         target.harness_factory,
         target.ecu_factory,
         policy=spec.policy,

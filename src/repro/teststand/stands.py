@@ -196,18 +196,25 @@ def build_big_rack(
 def build_minimal_bench(
     pins: Sequence[str] = PAPER_PINS, *, supply_voltage: float = 12.5
 ) -> TestStand:
-    """A small laboratory bench: one DVM, two small decades, one CAN dongle.
+    """A small laboratory bench: one DVM, two small decades, one CAN dongle,
+    one clamp ammeter.
 
     The decades are deliberately smaller (50 kOhm) than the paper stand's and
     everything is hard-wired through direct plugs instead of a switching
     matrix - a very different stand that must nevertheless produce the same
-    verdicts from the same XML script.
+    verdicts from the same XML script.  The clamp ammeter closes the bench's
+    former ``get_i`` capability gap: without it the family's
+    current-measurement sheets (the ones that catch the ``fast_relay_weak``
+    and ``drl_dim`` knowledge-gap faults) could not run here and the bench
+    would no longer produce the same verdicts as the big rack.
     """
     resources = ResourceTable((
         Resource("BENCH_DVM", Dvm("bench_dvm", u_min=-20.0, u_max=20.0), "handheld DVM"),
         Resource("BENCH_DEC1", ResistorDecade("bench_dec1", max_ohms=5.0e4), "decade 50 kOhm"),
         Resource("BENCH_DEC2", ResistorDecade("bench_dec2", max_ohms=5.0e4), "decade 50 kOhm"),
         Resource("BENCH_CAN", CanInterface("bench_can"), "USB CAN dongle"),
+        Resource("BENCH_CLAMP", CurrentProbe("bench_clamp", i_max=20.0),
+                 "handheld clamp ammeter"),
     ))
     connections = ConnectionMatrix()
     if "INT_ILL_F" in pins:
@@ -230,6 +237,11 @@ def build_minimal_bench(
             continue
         connections.add(Route("BENCH_DVM", "hi", pin, DirectWire(f"P{plug}")))
         plug += 1
+    # The clamp ammeter closes around any adapter wire, so every pin gets a
+    # clamp position (separate C-numbered labels: clamping a wire is not a
+    # plug connection).
+    for index, pin in enumerate(pins, start=1):
+        connections.add(Route("BENCH_CLAMP", "clamp", pin, DirectWire(f"C{index}")))
     return TestStand(
         name="minimal_bench",
         resources=resources,

@@ -1,0 +1,233 @@
+"""Regression tests for the closed detection gaps and capability negotiation.
+
+Four of the five DUT fault catalogues used to carry a seeded defect the
+bundled voltage-window sheets provably could not catch (``fast_relay_weak``,
+``travel_slightly_slow``, ``drl_dim``, ``unlocks_at_speed``).  The current-
+measurement and tightened-timing sheets close those gaps; this module pins
+
+* each formerly-escaped fault to *detected* on a fully equipped stand,
+* the paper's intentional ``ignores_ds_fr`` gap to *not* being flipped,
+* the registry-driven stand capability negotiation: a ``get_i`` sheet on a
+  stand without an ammeter is rejected pre-flight with a structured
+  :class:`~repro.targets.CapabilityGapError` (CLI exit code 2), not half-way
+  through a campaign as ERROR verdicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.faults import (
+    central_locking_faults,
+    exterior_light_faults,
+    interior_light_faults,
+    window_lifter_faults,
+    wiper_faults,
+)
+from repro.cli import main_campaign
+from repro.instruments import CanInterface, Dvm, ResistorDecade
+from repro.targets import (
+    CampaignSpec,
+    CapabilityGapError,
+    RunSpec,
+    get_dut,
+    get_stand,
+    method_coverage,
+    register_stand,
+    run_campaign,
+    run_single,
+    unregister_stand,
+)
+from repro.teststand.connection import ConnectionMatrix, DirectWire, Route
+from repro.teststand.resources import Resource, ResourceTable
+from repro.teststand.stands import TestStand
+
+#: DUT -> (formerly escaped fault, the sheet that closes the gap).
+CLOSED_GAPS = {
+    "wiper_ecu": ("fast_relay_weak", "fast_relay_current"),
+    "window_lifter_ecu": ("travel_slightly_slow", "travel_timing"),
+    "exterior_light_ecu": ("drl_dim", "drl_lamp_current"),
+    "central_locking_ecu": ("unlocks_at_speed", "unlock_inhibit_at_speed"),
+}
+
+ALL_CATALOGUES = (interior_light_faults, central_locking_faults, wiper_faults,
+                  window_lifter_faults, exterior_light_faults)
+
+
+def build_bare_bench(pins=("WASH_SW", "WIPER_MOTOR", "WIPER_FAST", "WASH_PUMP")):
+    """A bench with DVM, decade and CAN but *no* ammeter (the pre-PR-3
+    minimal bench, essentially): get_i sheets cannot run here."""
+    resources = ResourceTable((
+        Resource("DVM", Dvm("bare_dvm", u_min=-20.0, u_max=20.0)),
+        Resource("DEC", ResistorDecade("bare_dec", max_ohms=5.0e4)),
+        Resource("CAN", CanInterface("bare_can")),
+    ))
+    connections = ConnectionMatrix()
+    for index, pin in enumerate(pins, start=1):
+        connections.add(Route("DVM", "hi", pin, DirectWire(f"P{index}")))
+        connections.add(Route("DEC", "a", pin, DirectWire(f"Q{index}")))
+    return TestStand(name="bare_bench", resources=resources,
+                     connections=connections)
+
+
+@pytest.fixture
+def bare_bench_registered():
+    register_stand("bare_bench", build_bare_bench, adaptable=True,
+                   description="ammeter-less bench (capability-gap fixture)")
+    try:
+        yield get_stand("bare_bench")
+    finally:
+        unregister_stand("bare_bench")
+
+
+class TestClosedGaps:
+    @pytest.mark.parametrize("dut,gap", [
+        (dut, gap) for dut, (gap, _sheet) in CLOSED_GAPS.items()
+    ])
+    @pytest.mark.parametrize("stand", ["big_rack", "minimal"])
+    def test_formerly_escaped_fault_is_detected(self, dut, gap, stand):
+        result = run_campaign(CampaignSpec(dut=dut, stand=stand, faults=(gap,)))
+        assert result.baseline_clean, f"{dut}: baseline dirty on {stand}"
+        assert result.detected == (gap,), (
+            f"{dut}: {gap} still escapes the suite on {stand}"
+        )
+
+    @pytest.mark.parametrize("dut,gap,sheet", [
+        (dut, gap, sheet) for dut, (gap, sheet) in CLOSED_GAPS.items()
+    ])
+    def test_the_new_sheet_is_what_catches_it(self, dut, gap, sheet):
+        # The gap fault must fail exactly on the sheet that was authored to
+        # catch it - a voltage sheet suddenly catching an aged driver would
+        # mean the fault model lost its point.
+        result = run_campaign(CampaignSpec(dut=dut, stand="big_rack",
+                                           faults=(gap,)))
+        (outcome,) = result.outcomes
+        assert outcome.failing_tests == (sheet,)
+
+    def test_no_expected_detections_are_missed_anywhere(self):
+        for dut in ("wiper_ecu", "window_lifter_ecu", "exterior_light_ecu",
+                    "central_locking_ecu"):
+            result = run_campaign(CampaignSpec(dut=dut))
+            assert result.baseline_clean
+            assert result.undetected == (), f"{dut}: {result.undetected}"
+
+
+class TestIgnoresDsFrStaysAGap:
+    """Guard: the paper's own knowledge gap must *not* be flipped.
+
+    The paper's ten-step sheet only ever exercises the DS_FR door contact by
+    day, so the ``ignores_ds_fr`` defect escapes it - that is the worked
+    illustration of the paper's point that test sheets preserve (and must
+    keep accumulating) component knowledge.  The new current/timing sheets
+    close *stand-capability* gaps, not this documented behavioural one: it
+    stays ``expected_detected=False`` in the catalogue, and only the
+    extended night-time DS_FR sheet (a later knowledge generation) catches
+    it.
+    """
+
+    def test_catalogue_expectation_not_flipped(self):
+        fault = interior_light_faults().get("ignores_ds_fr")
+        assert fault.expected_detected is False
+
+    def test_it_is_the_sole_documented_escape(self):
+        escapes = [
+            (catalogue.ecu_name, fault.name)
+            for factory in ALL_CATALOGUES
+            for catalogue in (factory(),)
+            for fault in catalogue
+            if not fault.expected_detected
+        ]
+        assert escapes == [("interior_light_ecu", "ignores_ds_fr")]
+
+    def test_paper_sheet_alone_still_misses_it(self):
+        from repro.paper import paper_suite
+
+        result = run_campaign(CampaignSpec(suite=paper_suite(), stand="paper",
+                                           faults=("ignores_ds_fr",)))
+        assert result.baseline_clean
+        assert result.undetected == ("ignores_ds_fr",)
+
+
+class TestCapabilityNegotiation:
+    def test_stand_methods_computed_at_registration(self, bare_bench_registered):
+        assert bare_bench_registered.methods == ("get_can", "get_u",
+                                                 "put_can", "put_r")
+        assert bare_bench_registered.missing_methods(["get_i", "get_u"]) == \
+            ("get_i",)
+        # wait is served by the interpreter, never by a resource.
+        assert bare_bench_registered.missing_methods(["wait"]) == ()
+
+    def test_bundled_stands_all_cover_the_bundled_suites(self):
+        for dut in ("wiper_ecu", "window_lifter_ecu", "exterior_light_ecu",
+                    "central_locking_ecu", "interior_light_ecu"):
+            coverage = method_coverage(dut)
+            assert coverage, dut
+            assert all(missing == () for missing in coverage.values()), \
+                (dut, coverage)
+
+    def test_dut_required_methods_recorded(self):
+        wiper = get_dut("wiper_ecu")
+        assert wiper.required_methods is not None
+        assert "get_i" in wiper.required_methods
+        interior = get_dut("interior_light_ecu")
+        assert interior.required_methods is not None
+        assert "get_i" not in interior.required_methods
+
+    def test_method_coverage_names_the_gap(self, bare_bench_registered):
+        coverage = method_coverage("wiper_ecu")
+        assert coverage["bare_bench"] == ("get_i",)
+        assert coverage["big_rack"] == ()
+        assert coverage["minimal"] == ()
+
+    def test_campaign_rejected_preflight(self, bare_bench_registered):
+        with pytest.raises(CapabilityGapError) as excinfo:
+            run_campaign(CampaignSpec(dut="wiper_ecu", stand="bare_bench"))
+        error = excinfo.value
+        assert error.stand == "bare_bench"
+        assert error.missing == ("get_i",)
+        assert error.dut == "wiper_ecu"
+        assert "get_i" in str(error)
+
+    def test_run_single_rejected_preflight(self, bare_bench_registered):
+        from repro.core import Compiler
+        from repro.paper import wiper_suite
+
+        script = Compiler().compile_test(wiper_suite(), "fast_relay_current")
+        with pytest.raises(CapabilityGapError, match="get_i"):
+            run_single(RunSpec(script=script, stand="bare_bench"))
+        # Sheets without get_i still run on the bare bench.
+        voltage_script = Compiler().compile_test(wiper_suite(),
+                                                 "continuous_wiping")
+        assert run_single(RunSpec(script=voltage_script,
+                                  stand="bare_bench")).passed
+
+    def test_cli_campaign_exit_2_not_mid_campaign(self, bare_bench_registered,
+                                                  capsys):
+        assert main_campaign(["--dut", "wiper_ecu", "--stand", "bare_bench",
+                              "--quiet"]) == 2
+        captured = capsys.readouterr()
+        assert "get_i" in captured.err and "bare_bench" in captured.err
+        # Pre-flight means no campaign output at all, not a table of ERRORs.
+        assert "fault campaign" not in captured.out
+
+    def test_list_targets_prints_method_coverage(self, bare_bench_registered,
+                                                 capsys):
+        assert main_campaign(["--list-targets"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "bare_bench no get_i" in out
+        assert "suite methods:" in out
+        # Every stand advertises its supported methods.
+        assert "methods: get_can, get_u, put_can, put_r" in out
+
+    def test_unknown_coverage_degrades_gracefully(self):
+        def exploding_builder():
+            raise RuntimeError("no such lab")
+
+        register_stand("ghost_rig", exploding_builder, adaptable=True)
+        try:
+            assert get_stand("ghost_rig").methods is None
+            assert get_stand("ghost_rig").missing_methods(["get_i"]) == ()
+            assert method_coverage("wiper_ecu")["ghost_rig"] is None
+        finally:
+            unregister_stand("ghost_rig")

@@ -18,6 +18,8 @@ from repro.paper import (
 )
 from repro.targets import CampaignSpec, RunSpec, run_campaign, run_single
 
+# Suite factory, fault catalogue and the formerly-escaped fault whose
+# detection gap the current/timing sheets closed.
 FAMILY = (
     (wiper_suite, wiper_faults, "fast_relay_weak"),
     (window_lifter_suite, window_lifter_faults, "travel_slightly_slow"),
@@ -40,13 +42,25 @@ class TestFamilySuites:
         for shared in ("Off", "Open", "Closed", "0", "1", "Lo", "Ho"):
             assert shared in statuses
         # ...next to the family payload statuses.
-        for new in ("IgnOn", "Interval", "Fast", "SwAuto", "Shut", "MidOpen"):
+        for new in ("IgnOn", "Interval", "Fast", "SwAuto", "Shut", "MidOpen",
+                    "HalfOpen", "NoCurrent", "CoilCurrent", "LampCurrent"):
             assert new in statuses
 
+    def test_current_statuses_are_relative_to_ubatt(self):
+        # A driver sourcing into a fixed load draws a current proportional
+        # to the supply, so the get_i windows must scale with UBATT exactly
+        # like Lo/Ho - otherwise the suites would verdict differently on
+        # the 12.5 V bench and the 13.5 V rack.
+        statuses = family_status_table()
+        for name in ("CoilCurrent", "LampCurrent"):
+            status = statuses.get(name)
+            assert status.method == "get_i"
+            assert status.variable == "UBATT"
+
     def test_suite_sheet_counts(self):
-        assert len(wiper_suite()) == 3
-        assert len(window_lifter_suite()) == 2
-        assert len(exterior_light_suite()) == 3
+        assert len(wiper_suite()) == 4
+        assert len(window_lifter_suite()) == 3
+        assert len(exterior_light_suite()) == 4
 
     def test_suites_survive_the_csv_workbook_roundtrip(self, tmp_path):
         from repro.sheets import load_suite, save_suite
@@ -79,9 +93,9 @@ class TestFamilySuites:
 
 
 class TestFamilyFaultCatalogues:
-    @pytest.mark.parametrize("suite_factory,faults_factory,known_gap", FAMILY)
+    @pytest.mark.parametrize("suite_factory,faults_factory,closed_gap", FAMILY)
     def test_detection_matches_catalogue_expectations(
-        self, suite_factory, faults_factory, known_gap
+        self, suite_factory, faults_factory, closed_gap
     ):
         suite = suite_factory()
         result = run_campaign(CampaignSpec(dut=suite.dut, stand="big_rack"))
@@ -91,7 +105,12 @@ class TestFamilyFaultCatalogues:
                 f"{outcome.fault.name}: detected={outcome.detected}, "
                 f"expected={outcome.fault.expected_detected}"
             )
-        assert result.undetected == (known_gap,)
+        # The current/timing sheets closed every catalogued gap: nothing
+        # escapes any more, and the formerly-escaped fault is now a
+        # *documented* detection (expected_detected=True).
+        assert result.undetected == ()
+        assert closed_gap in result.detected
+        assert faults_factory().get(closed_gap).expected_detected
 
     @pytest.mark.parametrize("faults_factory", [f for _, f, _ in FAMILY])
     def test_fault_factories_build_real_ecus(self, faults_factory):

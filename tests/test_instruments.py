@@ -137,6 +137,30 @@ class TestMetersAndDigitalIo:
         outcome = probe.execute(call, INT_ILL, ("INT_ILL_F",), harness, {})
         assert outcome.passed
 
+    def test_current_probe_accuracy_is_fraction_of_reading(self, harness):
+        # The clamp probe's accuracy widens the limits by accuracy*reading
+        # amperes, not by the raw fraction: with the lamp drawing ~1.9 A, a
+        # window starting 5 % above the reading must fail at the default
+        # 1 % of reading but pass at 10 % of reading.
+        harness.send_can_signal("NIGHT", 1)
+        harness.apply_resistance("DS_FL", 0.5)
+        reading = harness.measure_current("INT_ILL_F")
+        assert reading > 1.0
+        call = MethodCall("get_i", {"i_min": str(reading * 1.05),
+                                    "i_max": str(reading * 2.0)})
+        strict = CurrentProbe("strict", accuracy=0.01)
+        loose = CurrentProbe("loose", accuracy=0.10)
+        assert not strict.execute(call, INT_ILL, ("INT_ILL_F",), harness, {}).passed
+        assert loose.execute(call, INT_ILL, ("INT_ILL_F",), harness, {}).passed
+
+    def test_current_probe_rejects_non_fractional_accuracy(self):
+        from repro.core.errors import InstrumentError
+
+        with pytest.raises(InstrumentError, match="fraction"):
+            CurrentProbe("probe", accuracy=1.5)
+        with pytest.raises(InstrumentError, match="fraction"):
+            CurrentProbe("probe", accuracy=-0.1)
+
     def test_ohmmeter(self, harness):
         harness.apply_resistance("DS_FL", 470.0)
         meter = OhmMeter("ohm")

@@ -200,8 +200,14 @@ class TestStands:
         assert "get_i" in big_rack.methods_supported()
 
     def test_minimal_bench_structure(self, minimal_bench):
-        assert len(minimal_bench.resources) == 4
+        assert len(minimal_bench.resources) == 5
         assert all(isinstance(route.connector, DirectWire) for route in minimal_bench.connections)
+        # The clamp ammeter closes the bench's former get_i capability gap
+        # and reaches every adapter pin (a clamp goes around any wire).
+        assert "get_i" in minimal_bench.methods_supported()
+        clamp_pins = {route.pin for route in minimal_bench.connections
+                      if route.resource == "BENCH_CLAMP"}
+        assert clamp_pins == {route.pin for route in minimal_bench.connections}
 
     def test_stand_validation(self):
         from repro.teststand import TestStand

@@ -21,10 +21,13 @@ together per device under test:
     job-based campaign executor: because compiled scripts are
     stand-independent and every run uses a fresh DUT/harness/stand, the
     (scripts x stands x fault models) cross product expands into independent
-    ``Job`` specs that run on interchangeable serial / thread / process
-    backends with a deterministic, insertion-ordered verdict aggregate.
+    ``Job`` specs that run on interchangeable serial / thread / process /
+    async backends with a deterministic, insertion-ordered verdict
+    aggregate (the async backend multiplexes many latency-simulated stands
+    on one worker by awaiting instrument I/O).
 ``repro.instruments``
-    virtual instruments (DVM, resistor decade, power supply, CAN ...).
+    virtual instruments (DVM, resistor decade, power supply, CAN ...),
+    each with capability ranges and a per-call ``io_delay`` latency model.
 ``repro.dut``
     behavioural ECU models, electrical network, harness, CAN bus wiring.
 ``repro.can``
@@ -92,7 +95,7 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -7,8 +7,9 @@ suite on a fresh faulty ECU and records whether any step failed.
 
 Execution is delegated to the job-based engine in
 :mod:`repro.teststand.executor`: the campaign expands into one job per
-(script x ECU variant), and any backend - serial, thread pool or process
-pool - produces the identical, insertion-ordered verdict aggregate.
+(script x ECU variant), and any backend - serial, thread pool, process
+pool or the single-worker async multiplexer - produces the identical,
+insertion-ordered verdict aggregate.
 """
 
 from __future__ import annotations

@@ -15,9 +15,12 @@ over the public target registry in :mod:`repro.targets`:
 ``repro-campaign [<workbook dir>] [--dut NAME] [--stand NAME] [--jobs N]``
     run a fault-injection campaign for a DUT across a configurable worker
     pool, either from a compiled CSV workbook or - with ``--dut`` - from the
-    DUT's bundled suite.  ``--list-targets`` prints every registered DUT and
-    stand.  The verdict tables on stdout are byte-identical for any
-    ``--jobs`` / ``--backend`` combination; timing goes to stderr.
+    DUT's bundled suite.  ``--backend`` picks one of the serial / thread /
+    process / async execution backends (``--backend async --concurrency N``
+    multiplexes up to N stands on one worker by awaiting instrument I/O).
+    ``--list-targets`` prints every registered DUT and stand.  The verdict
+    tables on stdout are byte-identical for any ``--jobs`` / ``--backend`` /
+    ``--concurrency`` combination; timing goes to stderr.
 
 Exit codes distinguish verdicts from infrastructure problems so CI
 consumers can tell DUT regressions from broken setups:
@@ -66,7 +69,13 @@ EXIT_ERROR = 2
 
 
 def main_compile(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-compile``."""
+    """Entry point of ``repro-compile``: workbook directory -> XML scripts.
+
+    Loads the CSV workbook (``signals.csv``, ``status.csv``, ``test_*.csv``),
+    compiles every test definition sheet and writes one XML test script per
+    sheet into the output directory.  Returns 0 on success, 2 when the
+    workbook cannot be loaded or the scripts cannot be written.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-compile",
         description="Generate XML test scripts from a CSV workbook directory.",
@@ -100,7 +109,14 @@ def main_compile(argv: Sequence[str] | None = None) -> int:
 
 
 def main_run(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-run``."""
+    """Entry point of ``repro-run``: execute one XML script on one stand.
+
+    Expands a :class:`~repro.targets.RunSpec` through the registry (the
+    script's own DUT name picks the registered target; ``--stand`` defaults
+    to a stand carrying that DUT's adapter) and prints the step-by-step
+    report.  Returns 0 when the script passed, 1 on a FAIL verdict, 2 when
+    the script could not be executed at all.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-run",
         description="Execute an XML test script on a registered virtual test stand.",
@@ -191,7 +207,18 @@ def _print_target_listing() -> None:
 
 
 def main_campaign(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-campaign``."""
+    """Entry point of ``repro-campaign``: fault-injection campaigns.
+
+    Builds a :class:`~repro.targets.CampaignSpec` from the arguments (a
+    workbook directory, or ``--dut`` for a registered DUT's bundled suite)
+    and runs it on the chosen execution backend: ``--jobs N`` sizes the
+    thread / process pools, ``--backend async --concurrency N`` multiplexes
+    up to N stands on one worker.  The verdict table on stdout is
+    byte-identical for every backend choice; timing goes to stderr.
+    Returns 0 on a clean campaign, 1 for genuine DUT regressions (dirty
+    baseline, expected-caught fault escaping), 2 for infrastructure
+    problems (unknown targets, capability gaps, ERROR baselines).
+    """
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
         description="Run a fault-injection campaign for a registered DUT "
@@ -213,7 +240,13 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--backend", choices=EXECUTION_BACKENDS + ("auto",),
                         default="auto",
                         help="execution backend (default: auto = serial for "
-                             "--jobs 1, threads otherwise)")
+                             "--jobs 1, threads otherwise; async multiplexes "
+                             "many stands on one worker)")
+    parser.add_argument("--concurrency", type=int, default=0, metavar="N",
+                        help="multiplex width of the async backend: how many "
+                             "stands the one async worker may keep in flight "
+                             "(default: --jobs, or 8 when that is 1; other "
+                             "backends ignore it)")
     parser.add_argument("--faults", default="",
                         help="comma-separated fault names to inject "
                              "(default: the DUT's whole catalogue)")
@@ -240,6 +273,7 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
         policy=args.policy,
         backend=args.backend,
         jobs=args.jobs,
+        concurrency=args.concurrency,
         retries=args.retries,
     )
     try:
@@ -280,7 +314,12 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
 
 
 def main_report(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-report``."""
+    """Entry point of ``repro-report``: static summary of an XML script.
+
+    Prints the script's DUT, step/action counts, simulated duration and the
+    signals, methods and stand variables it uses - without executing
+    anything.  Returns 0, or 2 when the script cannot be read.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-report",
         description="Summarise an XML test script without executing it.",

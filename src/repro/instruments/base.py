@@ -16,12 +16,24 @@ all parameters."*  This module defines
 Instruments are intentionally unaware of signals, sheets or XML - they see
 only pins and parameter values, which is what keeps the execution side of
 the tool chain independent from the definition side.
+
+Every instrument also carries a *latency model*: ``io_delay`` is the real
+wall-clock cost of one method call (command round-trip over GPIB / USB /
+SCPI on a physical stand).  It defaults to ``0`` so the purely virtual
+stands stay fast, but a latency-simulated stand sets it to a few
+milliseconds per call - which is exactly the workload the ``async``
+execution backend multiplexes: subclasses implement the pure computation in
+:meth:`Instrument._perform`, while the public entry points :meth:`execute`
+(blocking sleep) and :meth:`aexecute` (``await asyncio.sleep``) pay the
+latency in the way their caller can afford.
 """
 
 from __future__ import annotations
 
 import abc
+import asyncio
 import math
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -96,8 +108,12 @@ class Instrument(abc.ABC):
     """Base class of all virtual instruments.
 
     Subclasses declare their terminals (connection points, e.g. ``hi``/``lo``
-    for a DVM) and capabilities, and implement :meth:`execute` which performs
-    one method call against the harness.
+    for a DVM) and capabilities, and implement :meth:`_perform` which carries
+    out one method call against the harness.  Callers never invoke
+    ``_perform`` directly: they go through :meth:`execute` (synchronous,
+    blocks for :attr:`io_delay`) or :meth:`aexecute` (awaitable, yields the
+    event loop for :attr:`io_delay`) so the instrument's I/O latency is paid
+    exactly once per call on either path.
     """
 
     #: Connection terminals of the instrument, in routing order.
@@ -105,10 +121,14 @@ class Instrument(abc.ABC):
     #: Whether the instrument attaches to the bus instead of discrete pins.
     IS_BUS_INTERFACE: bool = False
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, *, io_delay: float = 0.0):
         if not str(name).strip():
             raise InstrumentError("instrument needs a name")
+        if io_delay < 0:
+            raise InstrumentError("instrument io_delay must be non-negative")
         self.name = str(name).strip()
+        #: Simulated wall-clock latency of one method call in seconds.
+        self.io_delay = float(io_delay)
 
     # -- capabilities -----------------------------------------------------------
 
@@ -142,7 +162,6 @@ class Instrument(abc.ABC):
 
     # -- execution ----------------------------------------------------------------
 
-    @abc.abstractmethod
     def execute(
         self,
         call: MethodCall,
@@ -151,7 +170,11 @@ class Instrument(abc.ABC):
         harness: TestHarness,
         variables: Mapping[str, float],
     ) -> MethodOutcome:
-        """Perform one method call and return its outcome.
+        """Perform one method call synchronously and return its outcome.
+
+        Blocks the calling thread for :attr:`io_delay` seconds first - the
+        cost a serial or thread worker pays for the instrument round-trip -
+        then delegates to :meth:`_perform`.
 
         Parameters
         ----------
@@ -167,6 +190,46 @@ class Instrument(abc.ABC):
             The DUT harness providing the electrical / bus primitives.
         variables:
             Stand variables for evaluating relative limits (``ubatt``...).
+        """
+        if self.io_delay > 0.0:
+            time.sleep(self.io_delay)
+        return self._perform(call, signal, pins, harness, variables)
+
+    async def aexecute(
+        self,
+        call: MethodCall,
+        signal: Signal,
+        pins: Sequence[str],
+        harness: TestHarness,
+        variables: Mapping[str, float],
+    ) -> MethodOutcome:
+        """Perform one method call, awaiting the I/O latency.
+
+        The awaitable twin of :meth:`execute` (same parameters, same
+        outcome): ``await asyncio.sleep(io_delay)`` yields the event loop
+        while the (simulated) instrument round-trip is in flight, which is
+        what lets one async worker drive many slow stands concurrently.
+        """
+        if self.io_delay > 0.0:
+            await asyncio.sleep(self.io_delay)
+        return self._perform(call, signal, pins, harness, variables)
+
+    @abc.abstractmethod
+    def _perform(
+        self,
+        call: MethodCall,
+        signal: Signal,
+        pins: Sequence[str],
+        harness: TestHarness,
+        variables: Mapping[str, float],
+    ) -> MethodOutcome:
+        """Carry out one method call against the harness (no latency).
+
+        Implemented by each concrete instrument; parameters are those of
+        :meth:`execute`.  The computation must stay synchronous and free of
+        real-time waits - all wall-clock latency belongs to the
+        ``execute`` / ``aexecute`` wrappers, all *simulated* time to the
+        harness clock.
         """
 
     def __repr__(self) -> str:

@@ -28,8 +28,9 @@ class CanInterface(Instrument):
     TERMINALS = ("can",)
     IS_BUS_INTERFACE = True
 
-    def __init__(self, name: str, *, bitrate: int = 500_000):
-        super().__init__(name)
+    def __init__(self, name: str, *, bitrate: int = 500_000,
+                 io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if bitrate <= 0:
             raise InstrumentError("CAN bitrate must be positive")
         self.bitrate = int(bitrate)
@@ -47,7 +48,7 @@ class CanInterface(Instrument):
             )
         return signal.message
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

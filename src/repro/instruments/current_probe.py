@@ -46,8 +46,9 @@ class CurrentProbe(Instrument):
 
     TERMINALS = ("clamp",)
 
-    def __init__(self, name: str, *, i_max: float = 30.0, accuracy: float = 0.01):
-        super().__init__(name)
+    def __init__(self, name: str, *, i_max: float = 30.0, accuracy: float = 0.01,
+                 io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if i_max <= 0:
             raise InstrumentError("current probe range must be positive")
         if not 0.0 <= accuracy < 1.0:
@@ -61,7 +62,7 @@ class CurrentProbe(Instrument):
     def capabilities(self) -> tuple[Capability, ...]:
         return (Capability("get_i", "i", -self.i_max, self.i_max, "A"),)
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

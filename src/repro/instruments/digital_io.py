@@ -24,8 +24,8 @@ class DigitalIo(Instrument):
 
     TERMINALS = ("io",)
 
-    def __init__(self, name: str, *, channels: int = 8):
-        super().__init__(name)
+    def __init__(self, name: str, *, channels: int = 8, io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if channels < 1:
             raise InstrumentError("digital I/O card needs at least one channel")
         self.channels = int(channels)
@@ -36,7 +36,7 @@ class DigitalIo(Instrument):
             Capability("get_digital", "level", 0.0, 1.0, ""),
         )
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

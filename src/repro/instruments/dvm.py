@@ -37,8 +37,9 @@ class Dvm(Instrument):
         u_min: float = -60.0,
         u_max: float = 60.0,
         accuracy: float = 0.001,
+        io_delay: float = 0.0,
     ):
-        super().__init__(name)
+        super().__init__(name, io_delay=io_delay)
         if u_min >= u_max:
             raise InstrumentError("DVM voltage range is empty")
         self.u_min = float(u_min)
@@ -48,7 +49,7 @@ class Dvm(Instrument):
     def capabilities(self) -> tuple[Capability, ...]:
         return (Capability("get_u", "u", self.u_min, self.u_max, "V"),)
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

@@ -24,8 +24,9 @@ class OhmMeter(Instrument):
 
     TERMINALS = ("a",)
 
-    def __init__(self, name: str, *, max_ohms: float = 10.0e6, accuracy: float = 0.5):
-        super().__init__(name)
+    def __init__(self, name: str, *, max_ohms: float = 10.0e6, accuracy: float = 0.5,
+                 io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if max_ohms <= 0:
             raise InstrumentError("ohm meter range must be positive")
         self.max_ohms = float(max_ohms)
@@ -34,7 +35,7 @@ class OhmMeter(Instrument):
     def capabilities(self) -> tuple[Capability, ...]:
         return (Capability("get_r", "r", 0.0, self.max_ohms, "Ohm"),)
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

@@ -25,8 +25,9 @@ class PowerSupply(Instrument):
 
     TERMINALS = ("plus",)
 
-    def __init__(self, name: str, *, u_min: float = 0.0, u_max: float = 30.0):
-        super().__init__(name)
+    def __init__(self, name: str, *, u_min: float = 0.0, u_max: float = 30.0,
+                 io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if u_min >= u_max:
             raise InstrumentError("power supply voltage range is empty")
         self.u_min = float(u_min)
@@ -35,7 +36,7 @@ class PowerSupply(Instrument):
     def capabilities(self) -> tuple[Capability, ...]:
         return (Capability("put_u", "u", self.u_min, self.u_max, "V"),)
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

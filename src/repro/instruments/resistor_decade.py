@@ -34,8 +34,9 @@ class ResistorDecade(Instrument):
         max_ohms: float = 1.0e6,
         min_ohms: float = 0.0,
         resolution: float = 0.1,
+        io_delay: float = 0.0,
     ):
-        super().__init__(name)
+        super().__init__(name, io_delay=io_delay)
         if max_ohms <= min_ohms:
             raise InstrumentError("resistor decade range is empty")
         if resolution <= 0:
@@ -52,7 +53,7 @@ class ResistorDecade(Instrument):
         steps = round(clamped / self.resolution)
         return min(max(steps * self.resolution, self.min_ohms), self.max_ohms)
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

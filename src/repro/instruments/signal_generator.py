@@ -25,8 +25,9 @@ class SignalGenerator(Instrument):
 
     TERMINALS = ("out",)
 
-    def __init__(self, name: str, *, u_min: float = -20.0, u_max: float = 20.0):
-        super().__init__(name)
+    def __init__(self, name: str, *, u_min: float = -20.0, u_max: float = 20.0,
+                 io_delay: float = 0.0):
+        super().__init__(name, io_delay=io_delay)
         if u_min >= u_max:
             raise InstrumentError("signal generator voltage range is empty")
         self.u_min = float(u_min)
@@ -38,7 +39,7 @@ class SignalGenerator(Instrument):
             Capability("put_digital", "level", 0.0, 1.0, ""),
         )
 
-    def execute(
+    def _perform(
         self,
         call: MethodCall,
         signal: Signal,

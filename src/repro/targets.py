@@ -750,6 +750,15 @@ class CampaignSpec:
     ``stand=None`` picks a stand that carries the DUT's adapter
     (:func:`default_stand_for`), so every registered DUT campaigns without
     the caller knowing its pinning.
+
+    ``backend`` / ``jobs`` / ``concurrency`` describe execution:
+    ``backend`` is one of
+    :data:`~repro.teststand.executor.EXECUTION_BACKENDS` (or ``"auto"``),
+    ``jobs`` is the worker count for the thread / process pools, and
+    ``concurrency`` is the multiplex width of the single-worker ``async``
+    backend — ``CampaignSpec(dut="wiper_ecu", backend="async",
+    concurrency=8)`` drives up to eight stands from one worker.  The choice
+    never changes the verdict table, only the wall clock.
     """
 
     dut: str | None = None
@@ -760,6 +769,7 @@ class CampaignSpec:
     policy: str = "first_fit"
     backend: str = "auto"
     jobs: int = 1
+    concurrency: int = 0
     retries: int = 1
 
     def __post_init__(self) -> None:
@@ -816,8 +826,8 @@ def build_campaign(spec: CampaignSpec, *,
     and the selected fault models; :func:`run_campaign` is the one-call
     wrapper.  Exposed separately so callers can reuse the expansion with a
     custom executor or fault subset.  An explicit *executor* takes
-    precedence over the spec's ``backend`` / ``jobs`` fields, which are
-    then not consulted at all.
+    precedence over the spec's ``backend`` / ``jobs`` / ``concurrency``
+    fields, which are then not consulted at all.
     """
     suite = _resolve_suite(spec)
     target = get_dut(spec.dut or suite.dut)
@@ -845,7 +855,8 @@ def build_campaign(spec: CampaignSpec, *,
         dut=target.name,
     )
     if executor is None:
-        executor = make_executor(spec.backend, spec.jobs)
+        executor = make_executor(spec.backend, spec.jobs,
+                                 concurrency=spec.concurrency)
     campaign = FaultCampaign(
         scripts,
         # The scripts were compiled against the suite's own signal sheet, so
@@ -866,7 +877,8 @@ def run_campaign(spec: CampaignSpec, *,
                  executor: Executor | None = None) -> CampaignResult:
     """Expand a :class:`CampaignSpec` through the registry and execute it.
 
-    An explicit *executor* overrides the spec's ``backend`` / ``jobs``.
+    An explicit *executor* overrides the spec's ``backend`` / ``jobs`` /
+    ``concurrency``.
     """
     campaign, faults = build_campaign(spec, executor=executor)
     return campaign.run(faults)

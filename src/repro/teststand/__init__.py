@@ -2,8 +2,10 @@
 
 Single runs go through :class:`TestStandInterpreter`; whole campaigns go
 through the job-based engine in :mod:`repro.teststand.executor`, which fans
-(scripts x stands x fault models) out over serial / thread / process
-backends and aggregates deterministically.
+(scripts x stands x fault models) out over serial / thread / process /
+async backends and aggregates deterministically.  The async backend drives
+many latency-simulated stands from one worker by awaiting instrument I/O
+(:meth:`TestStandInterpreter.arun` / :func:`aexecute_job`).
 """
 
 from .allocator import ALLOCATION_POLICIES, Allocation, Allocator
@@ -16,7 +18,9 @@ from .connection import (
     Switch,
 )
 from .executor import (
+    DEFAULT_ASYNC_CONCURRENCY,
     EXECUTION_BACKENDS,
+    AsyncExecutor,
     ExecutionReport,
     Executor,
     Job,
@@ -24,6 +28,7 @@ from .executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    aexecute_job,
     execute_job,
     expand_jobs,
     make_executor,
@@ -64,6 +69,7 @@ __all__ = [
     "TestStandInterpreter",
     "run_script",
     "EXECUTION_BACKENDS",
+    "DEFAULT_ASYNC_CONCURRENCY",
     "Job",
     "JobResult",
     "ExecutionReport",
@@ -71,8 +77,10 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AsyncExecutor",
     "make_executor",
     "execute_job",
+    "aexecute_job",
     "expand_jobs",
     "run_jobs",
     "run_across_stands",

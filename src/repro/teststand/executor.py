@@ -15,8 +15,8 @@ into an execution engine:
 :func:`expand_jobs`
     the ordered cross-product expansion,
 :class:`Executor` / :func:`make_executor`
-    one interface over three interchangeable backends
-    (``serial``, ``thread``, ``process``),
+    one interface over four interchangeable backends
+    (``serial``, ``thread``, ``process``, ``async``),
 :func:`run_jobs`
     drives any backend, retries transient errors, streams results to an
     optional callback and collects them into an insertion-ordered
@@ -25,12 +25,19 @@ into an execution engine:
     order they finished.
 
 The ``process`` backend requires every factory in the jobs to be picklable
-(module-level callables); the ``thread`` and ``serial`` backends accept any
-callable.
+(module-level callables); the ``thread``, ``serial`` and ``async`` backends
+accept any callable.  The ``async`` backend is the odd one out in worker
+economics: it runs every job on *one* worker, but each job's instrument I/O
+is awaitable (:meth:`~repro.instruments.Instrument.aexecute` /
+:meth:`~repro.teststand.interpreter.TestStandInterpreter.arun`), so one
+event loop multiplexes up to ``concurrency`` slow stands — wall clock on
+latency-simulated stands stays roughly flat with stand count while the
+serial backend scales linearly (benchmark A4).
 """
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
@@ -46,6 +53,7 @@ from .verdict import TestResult, Verdict
 
 __all__ = [
     "EXECUTION_BACKENDS",
+    "DEFAULT_ASYNC_CONCURRENCY",
     "Job",
     "JobResult",
     "ExecutionReport",
@@ -53,15 +61,21 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AsyncExecutor",
     "make_executor",
     "execute_job",
+    "aexecute_job",
     "expand_jobs",
     "run_jobs",
     "run_across_stands",
 ]
 
 #: Names of the supported execution backends.
-EXECUTION_BACKENDS = ("serial", "thread", "process")
+EXECUTION_BACKENDS = ("serial", "thread", "process", "async")
+
+#: Async multiplex width used when neither ``concurrency`` nor a ``jobs``
+#: count larger than one is requested.
+DEFAULT_ASYNC_CONCURRENCY = 8
 
 
 # ---------------------------------------------------------------------------
@@ -117,16 +131,35 @@ class JobResult:
         return self.result.verdict if self.result is not None else Verdict.ERROR
 
 
-def execute_job(job: Job) -> TestResult:
-    """Build a fresh (ECU, harness, stand, interpreter) and run the job once."""
+def _interpreter_for(job: Job) -> TestStandInterpreter:
+    """Build a fresh (ECU, harness, stand) interpreter for one job execution."""
     ecu = job.ecu_factory()
     harness = job.harness_factory(ecu)
     stand = job.stand_factory()
-    interpreter = TestStandInterpreter(
+    return TestStandInterpreter(
         stand, harness, job.signals,
         policy=job.policy, stop_on_error=job.stop_on_error,
     )
-    return interpreter.run(job.script)
+
+
+def execute_job(job: Job) -> TestResult:
+    """Build a fresh (ECU, harness, stand, interpreter) and run the job once.
+
+    Instrument I/O is synchronous (each call blocks for the instrument's
+    ``io_delay``); the serial / thread / process backends use this path.
+    """
+    return _interpreter_for(job).run(job.script)
+
+
+async def aexecute_job(job: Job) -> TestResult:
+    """Build a fresh (ECU, harness, stand, interpreter) and await the job once.
+
+    The awaitable twin of :func:`execute_job`: instrument I/O goes through
+    :meth:`~repro.teststand.interpreter.TestStandInterpreter.arun`, so the
+    calling event loop can interleave other jobs while this job's stand is
+    waiting on (simulated) instrument latency.
+    """
+    return await _interpreter_for(job).arun(job.script)
 
 
 def _execute_with_retries(job: Job, max_attempts: int) -> JobResult:
@@ -152,6 +185,28 @@ def _execute_with_retries(job: Job, max_attempts: int) -> JobResult:
                      wall_time=time.perf_counter() - start)
 
 
+async def _aexecute_with_retries(job: Job, max_attempts: int) -> JobResult:
+    """Awaitable twin of :func:`_execute_with_retries` (same retry policy).
+
+    ``asyncio.CancelledError`` derives from ``BaseException`` and therefore
+    propagates: a cancelled job is abandoned, not retried and not recorded
+    as a transient error.
+    """
+    start = time.perf_counter()
+    attempts = max(1, int(max_attempts))
+    last_error = ""
+    for attempt in range(1, attempts + 1):
+        try:
+            result = await aexecute_job(job)
+        except Exception as exc:  # noqa: BLE001 - reported in the JobResult
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        return JobResult(job, result, attempts=attempt,
+                         wall_time=time.perf_counter() - start)
+    return JobResult(job, None, attempts=attempts, error=last_error,
+                     wall_time=time.perf_counter() - start)
+
+
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
@@ -163,9 +218,14 @@ class Executor:
     ``(position, JobResult)`` pairs as they complete — possibly out of
     order; callers that need determinism re-order by position (which
     :func:`run_jobs` does).
+
+    ``is_async`` tells :func:`run_jobs` which job function the backend
+    expects: ``False`` (the default) gets the synchronous retry wrapper,
+    ``True`` gets its awaitable twin.
     """
 
     name = "?"
+    is_async = False
 
     @property
     def workers(self) -> int:
@@ -241,12 +301,81 @@ class ProcessExecutor(Executor):
             ) from exc
 
 
-def make_executor(backend: str = "auto", jobs: int = 1) -> Executor:
+class AsyncExecutor(Executor):
+    """Runs jobs concurrently on one worker's asyncio event loop.
+
+    Where the thread and process backends buy wall clock with more workers,
+    the async backend buys it with *waiting better*: every job awaits its
+    instrument I/O (:func:`aexecute_job`), so while one latency-simulated
+    stand's command round-trip is in flight the loop advances other jobs.
+    ``concurrency`` bounds how many jobs may be in flight at once — the
+    number of slow stands one worker is allowed to keep busy; it is a
+    multiplex width, not a worker count (:attr:`workers` stays ``1``).
+
+    The whole batch runs to completion inside one ``asyncio.run`` call,
+    then streams out in completion order; the backend therefore cannot be
+    used from code that is already inside a running event loop.
+    """
+
+    name = "async"
+    is_async = True
+
+    def __init__(self, concurrency: int = DEFAULT_ASYNC_CONCURRENCY):
+        self.concurrency = max(1, int(concurrency))
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"AsyncExecutor(concurrency={self.concurrency})"
+
+    def map_jobs(self, fn, jobs, *extra):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise ReproError(
+                "the async backend manages its own event loop; run_jobs must "
+                "be called from synchronous code (or await aexecute_job "
+                "directly inside your own loop)"
+            )
+        yield from asyncio.run(self._drain(fn, tuple(jobs), extra))
+
+    async def _drain(
+        self, fn: Callable[..., "asyncio.Future[JobResult]"], jobs: Sequence[Job], extra
+    ) -> list[tuple[int, JobResult]]:
+        semaphore = asyncio.Semaphore(self.concurrency)
+        completed: list[tuple[int, JobResult]] = []
+
+        async def _one(position: int, job: Job) -> None:
+            async with semaphore:
+                completed.append((position, await fn(job, *extra)))
+
+        await asyncio.gather(*(_one(p, j) for p, j in enumerate(jobs)))
+        return completed
+
+
+def make_executor(backend: str = "auto", jobs: int = 1, *,
+                  concurrency: int = 0) -> Executor:
     """Build the executor for a ``--jobs N --backend NAME`` style request.
 
     ``auto`` picks serial for one worker and threads otherwise — the safe
     default, because threads accept arbitrary (closure) factories.
+
+    ``concurrency`` only concerns the ``async`` backend: it is the multiplex
+    width of the single async worker.  When it is left at ``0`` the async
+    backend falls back to ``jobs`` (so ``--backend async --jobs 4`` behaves
+    as one would guess) and, when that is one too, to
+    :data:`DEFAULT_ASYNC_CONCURRENCY`.  Other backends ignore it; negative
+    values are rejected for every backend.
     """
+    concurrency = int(concurrency)
+    if concurrency < 0:
+        raise ReproError(
+            f"concurrency must be non-negative, got {concurrency}"
+        )
     jobs = max(1, int(jobs))
     backend = (backend or "auto").lower()
     if backend == "auto":
@@ -257,6 +386,9 @@ def make_executor(backend: str = "auto", jobs: int = 1) -> Executor:
         return ThreadExecutor(max_workers=jobs)
     if backend == "process":
         return ProcessExecutor(max_workers=jobs)
+    if backend == "async":
+        width = concurrency or (jobs if jobs > 1 else DEFAULT_ASYNC_CONCURRENCY)
+        return AsyncExecutor(concurrency=width)
     raise ReproError(
         f"unknown execution backend {backend!r}; choose one of {EXECUTION_BACKENDS}"
     )
@@ -421,14 +553,17 @@ def run_jobs(
     Results stream into *on_result* in completion order (for live progress)
     but are slotted into the report by submission position, so the final
     aggregate — and everything derived from it, like the verdict table —
-    does not depend on scheduling.
+    does not depend on scheduling.  (The async backend drains its whole
+    batch before streaming, so there *on_result* fires only after the last
+    job finished — still in completion order.)
     """
     job_list = tuple(jobs)
     executor = executor or SerialExecutor()
     start = time.perf_counter()
     slots: list[JobResult | None] = [None] * len(job_list)
+    job_fn = _aexecute_with_retries if executor.is_async else _execute_with_retries
     for position, job_result in executor.map_jobs(
-        _execute_with_retries, job_list, max_attempts
+        job_fn, job_list, max_attempts
     ):
         slots[position] = job_result
         if on_result is not None:

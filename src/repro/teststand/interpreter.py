@@ -10,6 +10,15 @@ that are going to be used for component tests"*.  It only consumes
 which is precisely the boundary that makes the test definitions portable.
 The execution convention per step is: apply all stimuli of the step, let the
 step's Δt elapse, then evaluate all expectations.
+
+The interpreter offers two execution entry points over one shared core:
+:meth:`TestStandInterpreter.run` performs every instrument call
+synchronously (blocking for the instrument's ``io_delay``), while
+:meth:`TestStandInterpreter.arun` awaits the same calls through
+:meth:`~repro.instruments.Instrument.aexecute` - so an asyncio event loop
+can interleave many script runs on latency-simulated stands.  Both paths
+walk the identical setup/step/action sequence and produce the identical
+:class:`~repro.teststand.verdict.TestResult`.
 """
 
 from __future__ import annotations
@@ -55,19 +64,13 @@ class TestStandInterpreter:
     # -- public API --------------------------------------------------------------
 
     def run(self, script: TestScript) -> TestResult:
-        """Execute *script* and return the collected verdicts."""
-        wall_start = _time.perf_counter()
-        self.allocator.release_all()
-        self.harness.set_ubatt(self.stand.supply_voltage)
-        variables = self._variables()
+        """Execute *script* synchronously and return the collected verdicts.
 
-        missing = [name for name in script.variables if name not in variables]
-        if missing:
-            raise ExecutionError(
-                f"test stand {self.stand.name!r} does not provide variables {missing}"
-            )
+        Each instrument call blocks for the instrument's ``io_delay`` - the
+        path the serial / thread / process backends use.
+        """
+        wall_start, variables, clock_start = self._begin(script)
 
-        clock_start = self.harness.now
         setup_results: list[ActionResult] = []
         setup_failed = False
         for action in script.setup:
@@ -87,6 +90,64 @@ class TestStandInterpreter:
                 if self.stop_on_error and result.verdict is Verdict.ERROR:
                     break
 
+        return self._collect(script, setup_results, steps, clock_start, wall_start)
+
+    async def arun(self, script: TestScript) -> TestResult:
+        """Execute *script*, awaiting every instrument call.
+
+        The awaitable twin of :meth:`run`: the same setup/step/action walk
+        with the same stop-on-error semantics, but instrument I/O goes
+        through :meth:`~repro.instruments.Instrument.aexecute` so the event
+        loop can run other scripts while this stand's (simulated) I/O is in
+        flight.  Aborting a run - a setup error under ``stop_on_error``, or
+        the surrounding task being cancelled - therefore never blocks the
+        loop on instrument latency that no longer matters.
+        """
+        wall_start, variables, clock_start = self._begin(script)
+
+        setup_results: list[ActionResult] = []
+        setup_failed = False
+        for action in script.setup:
+            result = await self._aperform_action(action, variables)
+            setup_results.append(result)
+            if self.stop_on_error and result.verdict is Verdict.ERROR:
+                setup_failed = True
+                break
+
+        steps: list[StepResult] = []
+        if not setup_failed:
+            for step in script.steps:
+                result = await self._arun_step(step, variables)
+                steps.append(result)
+                if self.stop_on_error and result.verdict is Verdict.ERROR:
+                    break
+
+        return self._collect(script, setup_results, steps, clock_start, wall_start)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _begin(self, script: TestScript) -> tuple[float, dict[str, float], float]:
+        """Shared run prologue: reset allocations, check stand variables."""
+        wall_start = _time.perf_counter()
+        self.allocator.release_all()
+        self.harness.set_ubatt(self.stand.supply_voltage)
+        variables = self._variables()
+        missing = [name for name in script.variables if name not in variables]
+        if missing:
+            raise ExecutionError(
+                f"test stand {self.stand.name!r} does not provide variables {missing}"
+            )
+        return wall_start, variables, self.harness.now
+
+    def _collect(
+        self,
+        script: TestScript,
+        setup_results: list[ActionResult],
+        steps: list[StepResult],
+        clock_start: float,
+        wall_start: float,
+    ) -> TestResult:
+        """Shared run epilogue: release resources, assemble the result."""
         self.allocator.release_all()
         # Simulated duration is the harness clock delta, which also covers
         # `wait` actions and time spent during setup - not just the sum of
@@ -99,8 +160,6 @@ class TestStandInterpreter:
             duration=self.harness.now - clock_start,
             wall_time=_time.perf_counter() - wall_start,
         )
-
-    # -- internals -----------------------------------------------------------------
 
     def _variables(self) -> dict[str, float]:
         variables = dict(self.harness.variables())
@@ -116,19 +175,18 @@ class TestStandInterpreter:
             return self.registry.get(action.method).is_measurement
         return str(action.method).lower().startswith("get")
 
-    def _run_step(self, step: ScriptStep, variables: Mapping[str, float]) -> StepResult:
+    def _split_step(
+        self, step: ScriptStep
+    ) -> tuple[float, list[SignalAction], list[SignalAction]]:
+        """Step prologue shared by both paths: stimuli before expectations."""
         start_time = self.harness.now
         stimuli = [a for a in step.actions if not self._is_measurement(a)]
         expectations = [a for a in step.actions if self._is_measurement(a)]
+        return start_time, stimuli, expectations
 
-        results: list[ActionResult] = []
-        for action in stimuli:
-            results.append(self._perform_action(action, variables))
-        # Let the step duration elapse before the expectations are evaluated.
-        self.harness.advance(step.duration)
-        for action in expectations:
-            results.append(self._perform_action(action, variables))
-
+    def _step_result(
+        self, step: ScriptStep, results: list[ActionResult], start_time: float
+    ) -> StepResult:
         return StepResult(
             number=step.number,
             duration=step.duration,
@@ -137,9 +195,41 @@ class TestStandInterpreter:
             start_time=start_time,
         )
 
-    def _perform_action(
+    def _run_step(self, step: ScriptStep, variables: Mapping[str, float]) -> StepResult:
+        start_time, stimuli, expectations = self._split_step(step)
+        results: list[ActionResult] = []
+        for action in stimuli:
+            results.append(self._perform_action(action, variables))
+        # Let the step duration elapse before the expectations are evaluated.
+        self.harness.advance(step.duration)
+        for action in expectations:
+            results.append(self._perform_action(action, variables))
+        return self._step_result(step, results, start_time)
+
+    async def _arun_step(
+        self, step: ScriptStep, variables: Mapping[str, float]
+    ) -> StepResult:
+        start_time, stimuli, expectations = self._split_step(step)
+        results: list[ActionResult] = []
+        for action in stimuli:
+            results.append(await self._aperform_action(action, variables))
+        # The step duration is *simulated* time: advancing the harness clock
+        # costs no wall time and therefore needs no await.
+        self.harness.advance(step.duration)
+        for action in expectations:
+            results.append(await self._aperform_action(action, variables))
+        return self._step_result(step, results, start_time)
+
+    def _prepare_action(
         self, action: SignalAction, variables: Mapping[str, float]
-    ) -> ActionResult:
+    ):
+        """Everything before the instrument call: signal lookup, ``wait``
+        handling, open-circuit realisation and resource allocation.
+
+        Returns a terminal :class:`ActionResult` when the action is already
+        decided, else the ``(resource, allocation, signal)`` triple the
+        sync/async executors hand to the instrument.
+        """
         try:
             signal = self._signal_for(action)
         except Exception as exc:
@@ -160,6 +250,15 @@ class TestStandInterpreter:
             return ActionResult(action, Verdict.ERROR, error=str(exc))
 
         resource = self.stand.resources.get(allocation.resource)
+        return resource, allocation, signal
+
+    def _perform_action(
+        self, action: SignalAction, variables: Mapping[str, float]
+    ) -> ActionResult:
+        prepared = self._prepare_action(action, variables)
+        if isinstance(prepared, ActionResult):
+            return prepared
+        resource, allocation, signal = prepared
         try:
             outcome = resource.instrument.execute(
                 action.call, signal, allocation.pins, self.harness, dict(variables)
@@ -168,7 +267,26 @@ class TestStandInterpreter:
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
         except Exception as exc:  # harness / model errors surface as execution errors
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+        verdict = Verdict.PASS if outcome.passed else Verdict.FAIL
+        return ActionResult(action, verdict, outcome=outcome, allocation=allocation)
 
+    async def _aperform_action(
+        self, action: SignalAction, variables: Mapping[str, float]
+    ) -> ActionResult:
+        prepared = self._prepare_action(action, variables)
+        if isinstance(prepared, ActionResult):
+            return prepared
+        resource, allocation, signal = prepared
+        try:
+            outcome = await resource.instrument.aexecute(
+                action.call, signal, allocation.pins, self.harness, dict(variables)
+            )
+        except InstrumentError as exc:
+            return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+        # asyncio.CancelledError derives from BaseException, so task
+        # cancellation propagates instead of being recorded as a verdict.
+        except Exception as exc:
+            return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
         verdict = Verdict.PASS if outcome.passed else Verdict.FAIL
         return ActionResult(action, verdict, outcome=outcome, allocation=allocation)
 

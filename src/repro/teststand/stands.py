@@ -18,6 +18,12 @@ refer to).  Three ready-made stands are provided:
     different wiring, different instrument ranges, same verdicts.  Together
     with the other two it demonstrates the test-stand independence claim
     (benchmark E1).
+
+All three builders accept an ``io_delay`` keyword that is forwarded to every
+instrument: ``build_paper_stand(io_delay=0.005)`` is the paper stand with a
+5 ms command round-trip per instrument call - a *latency-simulated* stand,
+the workload the ``async`` execution backend multiplexes (benchmark A4).
+The default of ``0`` keeps the purely virtual stands fast.
 """
 
 from __future__ import annotations
@@ -116,7 +122,8 @@ def full_crossbar(
     return matrix
 
 
-def build_paper_stand(*, supply_voltage: float = 12.0) -> TestStand:
+def build_paper_stand(*, supply_voltage: float = 12.0,
+                      io_delay: float = 0.0) -> TestStand:
     """The test stand of the paper's Section 4.
 
     Resources (paper's resource table):
@@ -142,10 +149,13 @@ def build_paper_stand(*, supply_voltage: float = 12.0) -> TestStand:
     multiplexers ``Mx1`` .. ``Mx4``.
     """
     resources = ResourceTable((
-        Resource("Ress1", Dvm("dvm1", u_min=-60.0, u_max=60.0), "digital volt meter"),
-        Resource("Ress2", ResistorDecade("decade1", max_ohms=1.0e6), "resistor decade 1 MOhm"),
-        Resource("Ress3", ResistorDecade("decade2", max_ohms=2.0e5), "resistor decade 200 kOhm"),
-        Resource("Ress4", CanInterface("can1"), "CAN interface"),
+        Resource("Ress1", Dvm("dvm1", u_min=-60.0, u_max=60.0, io_delay=io_delay),
+                 "digital volt meter"),
+        Resource("Ress2", ResistorDecade("decade1", max_ohms=1.0e6, io_delay=io_delay),
+                 "resistor decade 1 MOhm"),
+        Resource("Ress3", ResistorDecade("decade2", max_ohms=2.0e5, io_delay=io_delay),
+                 "resistor decade 200 kOhm"),
+        Resource("Ress4", CanInterface("can1", io_delay=io_delay), "CAN interface"),
     ))
 
     connections = ConnectionMatrix()
@@ -166,22 +176,32 @@ def build_paper_stand(*, supply_voltage: float = 12.0) -> TestStand:
 
 
 def build_big_rack(
-    pins: Sequence[str] = PAPER_PINS, *, supply_voltage: float = 13.5
+    pins: Sequence[str] = PAPER_PINS, *, supply_voltage: float = 13.5,
+    io_delay: float = 0.0,
 ) -> TestStand:
     """A generously equipped HIL rack with a full crossbar to every pin."""
     resources = ResourceTable((
-        Resource("DVM_A", Dvm("dvm_a", u_min=-100.0, u_max=100.0), "precision DVM"),
-        Resource("DVM_B", Dvm("dvm_b", u_min=-60.0, u_max=60.0), "second DVM"),
-        Resource("DEC_A", ResistorDecade("dec_a", max_ohms=1.0e6), "decade 1 MOhm"),
-        Resource("DEC_B", ResistorDecade("dec_b", max_ohms=1.0e6), "decade 1 MOhm"),
-        Resource("DEC_C", ResistorDecade("dec_c", max_ohms=1.0e5), "decade 100 kOhm"),
-        Resource("DEC_D", ResistorDecade("dec_d", max_ohms=1.0e4), "decade 10 kOhm"),
-        Resource("PSU_1", PowerSupply("psu1", u_max=30.0), "programmable supply"),
-        Resource("GEN_1", SignalGenerator("gen1"), "signal generator"),
-        Resource("AMP_1", CurrentProbe("probe1", i_max=30.0), "current probe"),
-        Resource("OHM_1", OhmMeter("ohm1"), "ohm meter"),
-        Resource("DIO_1", DigitalIo("dio1", channels=16), "digital I/O card"),
-        Resource("CAN_1", CanInterface("can_rack"), "CAN interface"),
+        Resource("DVM_A", Dvm("dvm_a", u_min=-100.0, u_max=100.0, io_delay=io_delay),
+                 "precision DVM"),
+        Resource("DVM_B", Dvm("dvm_b", u_min=-60.0, u_max=60.0, io_delay=io_delay),
+                 "second DVM"),
+        Resource("DEC_A", ResistorDecade("dec_a", max_ohms=1.0e6, io_delay=io_delay),
+                 "decade 1 MOhm"),
+        Resource("DEC_B", ResistorDecade("dec_b", max_ohms=1.0e6, io_delay=io_delay),
+                 "decade 1 MOhm"),
+        Resource("DEC_C", ResistorDecade("dec_c", max_ohms=1.0e5, io_delay=io_delay),
+                 "decade 100 kOhm"),
+        Resource("DEC_D", ResistorDecade("dec_d", max_ohms=1.0e4, io_delay=io_delay),
+                 "decade 10 kOhm"),
+        Resource("PSU_1", PowerSupply("psu1", u_max=30.0, io_delay=io_delay),
+                 "programmable supply"),
+        Resource("GEN_1", SignalGenerator("gen1", io_delay=io_delay), "signal generator"),
+        Resource("AMP_1", CurrentProbe("probe1", i_max=30.0, io_delay=io_delay),
+                 "current probe"),
+        Resource("OHM_1", OhmMeter("ohm1", io_delay=io_delay), "ohm meter"),
+        Resource("DIO_1", DigitalIo("dio1", channels=16, io_delay=io_delay),
+                 "digital I/O card"),
+        Resource("CAN_1", CanInterface("can_rack", io_delay=io_delay), "CAN interface"),
     ))
     connections = full_crossbar(resources, pins)
     return TestStand(
@@ -194,7 +214,8 @@ def build_big_rack(
 
 
 def build_minimal_bench(
-    pins: Sequence[str] = PAPER_PINS, *, supply_voltage: float = 12.5
+    pins: Sequence[str] = PAPER_PINS, *, supply_voltage: float = 12.5,
+    io_delay: float = 0.0,
 ) -> TestStand:
     """A small laboratory bench: one DVM, two small decades, one CAN dongle,
     one clamp ammeter.
@@ -209,11 +230,16 @@ def build_minimal_bench(
     would no longer produce the same verdicts as the big rack.
     """
     resources = ResourceTable((
-        Resource("BENCH_DVM", Dvm("bench_dvm", u_min=-20.0, u_max=20.0), "handheld DVM"),
-        Resource("BENCH_DEC1", ResistorDecade("bench_dec1", max_ohms=5.0e4), "decade 50 kOhm"),
-        Resource("BENCH_DEC2", ResistorDecade("bench_dec2", max_ohms=5.0e4), "decade 50 kOhm"),
-        Resource("BENCH_CAN", CanInterface("bench_can"), "USB CAN dongle"),
-        Resource("BENCH_CLAMP", CurrentProbe("bench_clamp", i_max=20.0),
+        Resource("BENCH_DVM", Dvm("bench_dvm", u_min=-20.0, u_max=20.0,
+                                  io_delay=io_delay), "handheld DVM"),
+        Resource("BENCH_DEC1", ResistorDecade("bench_dec1", max_ohms=5.0e4,
+                                              io_delay=io_delay), "decade 50 kOhm"),
+        Resource("BENCH_DEC2", ResistorDecade("bench_dec2", max_ohms=5.0e4,
+                                              io_delay=io_delay), "decade 50 kOhm"),
+        Resource("BENCH_CAN", CanInterface("bench_can", io_delay=io_delay),
+                 "USB CAN dongle"),
+        Resource("BENCH_CLAMP", CurrentProbe("bench_clamp", i_max=20.0,
+                                             io_delay=io_delay),
                  "handheld clamp ammeter"),
     ))
     connections = ConnectionMatrix()

@@ -143,9 +143,17 @@ class TestExecutorEngine:
         assert make_executor("auto", 4).name == "thread"
         assert make_executor("serial", 8).name == "serial"
         assert make_executor("process", 2).workers == 2
+        # The async backend is one worker multiplexing N stands: concurrency
+        # comes from --concurrency, falls back to --jobs, then to the default.
+        assert make_executor("async", 1).concurrency == 8
+        assert make_executor("async", 4).concurrency == 4
+        assert make_executor("async", 4, concurrency=16).concurrency == 16
+        assert make_executor("async", 4).workers == 1
         with pytest.raises(ReproError):
             make_executor("quantum", 2)
-        assert set(EXECUTION_BACKENDS) == {"serial", "thread", "process"}
+        with pytest.raises(ReproError):
+            make_executor("async", 1, concurrency=-8)
+        assert set(EXECUTION_BACKENDS) == {"serial", "thread", "process", "async"}
 
     def test_retries_transient_errors(self):
         failures = {"left": 1}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation site (CI docs job).
+
+Scans the given markdown files (directories are walked for ``*.md``) for
+inline links and images, and verifies that every *relative* target exists
+on disk, resolved against the linking file's directory.  External targets
+(``http://``, ``https://``, ``mailto:``) are not fetched - CI must stay
+meaningful offline - and pure in-page anchors (``#section``) are accepted
+as long as the file itself exists.
+
+Usage::
+
+    python tools/check_md_links.py README.md docs ROADMAP.md
+
+Exit code 0 when every link resolves, 1 with a per-link report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) / ![alt](target "title").
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Target schemes that are not checked against the filesystem.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    """Expand the CLI arguments into a sorted list of markdown files."""
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken-link complaints for one markdown file."""
+    problems: list[str] = []
+    if not path.is_file():
+        return [f"{path}: file does not exist"]
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            relative = target.split("#", 1)[0]  # drop cross-file anchors
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path}:{line_number}: broken link {target!r} "
+                    f"(resolved to {resolved})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print("usage: check_md_links.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files = iter_markdown_files(arguments)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,8 @@ class FaultCampaign:
         policy: str = "first_fit",
         executor: Executor | None = None,
         max_attempts: int = 2,
+        use_plans: bool = True,
+        reuse_stands: bool = True,
     ):
         self.scripts = tuple(scripts)
         self.signals = signals
@@ -147,6 +149,10 @@ class FaultCampaign:
         self.policy = policy
         self.executor = executor
         self.max_attempts = max_attempts
+        #: Compile-once-run-many switches forwarded to every job (see
+        #: :class:`repro.teststand.executor.Job`); off only for A/B timing.
+        self.use_plans = bool(use_plans)
+        self.reuse_stands = bool(reuse_stands)
 
     def _expand(self, faults: Sequence[FaultModel]):
         """One job per (ECU variant x script): baseline first, catalogue order."""
@@ -165,6 +171,8 @@ class FaultCampaign:
             self.harness_factory,
             groups,
             policy=self.policy,
+            use_plans=self.use_plans,
+            reuse_stands=self.reuse_stands,
         )
 
     def run(

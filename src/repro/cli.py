@@ -18,9 +18,12 @@ over the public target registry in :mod:`repro.targets`:
     DUT's bundled suite.  ``--backend`` picks one of the serial / thread /
     process / async execution backends (``--backend async --concurrency N``
     multiplexes up to N stands on one worker by awaiting instrument I/O).
-    ``--list-targets`` prints every registered DUT and stand.  The verdict
-    tables on stdout are byte-identical for any ``--jobs`` / ``--backend`` /
-    ``--concurrency`` combination; timing goes to stderr.
+    ``--list-targets`` prints every registered DUT and stand.
+    ``--profile`` adds a per-phase timing breakdown (job expansion /
+    allocation / instrument I/O / aggregation, plan-cache hit rate) on
+    stderr.  The verdict tables on stdout are byte-identical for any
+    ``--jobs`` / ``--backend`` / ``--concurrency`` combination; timing
+    goes to stderr.
 
 Exit codes distinguish verdicts from infrastructure problems so CI
 consumers can tell DUT regressions from broken setups:
@@ -206,6 +209,68 @@ def _print_target_listing() -> None:
         print(f"      methods: {methods}")
 
 
+def _run_profiled_campaign(spec, *, quiet: bool = False):
+    """Run *spec* with per-phase timing; returns (result, rendered, lines).
+
+    Phases: *job expansion* (spec -> compiled scripts -> jobs), *execution*
+    (the whole backend run) split into the interpreter-attributed
+    *allocation* (full searches only - plan replays cost next to nothing
+    and show up as the hit rate instead) and *instrument I/O* shares, and
+    *aggregation* (rendering exactly the table/summary this invocation
+    prints - the strings are returned so the caller prints rather than
+    re-renders them).  The plan-cache delta over the campaign is reported
+    alongside.  Worker processes keep their timings and plan caches to
+    themselves, so with ``--backend process`` only the parent-side phases
+    carry numbers.
+    """
+    import time as _time
+
+    from .teststand.plan import GLOBAL_PLAN_CACHE
+    from .teststand.profiling import PROFILER
+
+    cache_before = GLOBAL_PLAN_CACHE.stats.snapshot()
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        t0 = _time.perf_counter()
+        campaign, faults = targets.build_campaign(spec)
+        t1 = _time.perf_counter()
+        result = campaign.run(faults)
+        t2 = _time.perf_counter()
+        rendered = {
+            "table": None if quiet else result.table(),
+            "summary": result.summary(),
+        }
+        t3 = _time.perf_counter()
+    finally:
+        PROFILER.disable()
+    phases = PROFILER.snapshot()
+    cache_after = GLOBAL_PLAN_CACHE.stats.snapshot()
+    delta = {key: cache_after[key] - cache_before[key]
+             for key in ("plans_compiled", "plan_hits", "plan_misses",
+                         "action_replays", "action_fallbacks")}
+    replays, fallbacks = delta["action_replays"], delta["action_fallbacks"]
+    visits = replays + fallbacks
+    hit_rate = (replays / visits) if visits else 0.0
+
+    def _phase(name: str) -> str:
+        seconds, calls = phases.get(name, (0.0, 0))
+        return f"{seconds:.3f} s across {calls} call(s)"
+
+    lines = [
+        f"profile: job expansion  {t1 - t0:.3f} s",
+        f"profile: execution      {t2 - t1:.3f} s "
+        f"(allocation {_phase('allocation')}; "
+        f"instrument I/O {_phase('instrument_io')})",
+        f"profile: aggregation    {t3 - t2:.3f} s",
+        f"profile: plan cache     {delta['plans_compiled']} compile(s), "
+        f"{delta['plan_hits']} plan hit(s) / {delta['plan_misses']} miss(es); "
+        f"{replays} action replay(s) / {fallbacks} fallback(s) "
+        f"({hit_rate:.0%} hit rate)",
+    ]
+    return result, rendered, lines
+
+
 def main_campaign(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-campaign``: fault-injection campaigns.
 
@@ -255,6 +320,12 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
                              "(default: 1; 0 disables retrying)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the campaign summary line")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing breakdown (job "
+                             "expansion / allocation / instrument I/O / "
+                             "aggregation, plus the plan-cache hit rate) on "
+                             "stderr; worker-side phases are only visible "
+                             "for the serial / thread / async backends")
     parser.add_argument("--list-targets", action="store_true",
                         help="list the registered DUTs and stands, then exit")
     args = parser.parse_args(argv)
@@ -265,19 +336,29 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     if args.workbook is None and args.dut is None:
         parser.error("a workbook directory or --dut NAME is required")
 
-    spec = CampaignSpec(
-        dut=args.dut,
-        workbook=args.workbook,
-        stand=args.stand,
-        faults=args.faults,  # comma-separated; parsed by CampaignSpec
-        policy=args.policy,
-        backend=args.backend,
-        jobs=args.jobs,
-        concurrency=args.concurrency,
-        retries=args.retries,
-    )
     try:
-        result = targets.run_campaign(spec)
+        spec = CampaignSpec(
+            dut=args.dut,
+            workbook=args.workbook,
+            stand=args.stand,
+            faults=args.faults,  # comma-separated; parsed by CampaignSpec
+            policy=args.policy,
+            backend=args.backend,
+            jobs=args.jobs,
+            concurrency=args.concurrency,
+            retries=args.retries,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        if args.profile:
+            result, rendered, profile_lines = _run_profiled_campaign(
+                spec, quiet=args.quiet)
+        else:
+            result = targets.run_campaign(spec)
+            rendered = {}
+            profile_lines = ()
     except TargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -286,12 +367,14 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
         return EXIT_ERROR
 
     if not args.quiet:
-        print(result.table())
-    print(result.summary())
+        print(rendered.get("table") or result.table())
+    print(rendered.get("summary") or result.summary())
     if result.execution is not None:
         # Timing is scheduling-dependent, so it goes to stderr: stdout stays
         # byte-identical across --jobs / --backend choices.
         print(result.execution.summary(), file=sys.stderr)
+    for line in profile_lines:
+        print(line, file=sys.stderr)
     # An ERROR verdict on the *healthy* baseline means the campaign could
     # not actually be executed (allocation failure, unknown signal,
     # instrument fault) - an infrastructure problem, never a statement

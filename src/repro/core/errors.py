@@ -17,6 +17,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """An execution knob (worker count, concurrency, retries...) is invalid.
+
+    Deliberately also a :class:`ValueError`: misconfigured executor or
+    campaign parameters are plain bad arguments, and callers outside the
+    library reasonably catch them as such.
+    """
+
+
 class DefinitionError(ReproError):
     """A test-definition artefact (sheet, status, signal) is inconsistent."""
 

@@ -23,7 +23,7 @@ from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from .errors import ScriptError
-from .values import LimitExpression, format_number
+from .values import LimitExpression, compile_expression, format_number
 
 __all__ = ["MethodCall", "SignalAction", "ScriptStep", "TestScript"]
 
@@ -59,7 +59,7 @@ class MethodCall:
         names: set[str] = set()
         for value in self.params.values():
             try:
-                names |= LimitExpression(value).variables
+                names |= compile_expression(str(value)).variables
             except Exception:
                 continue
         return frozenset(names)

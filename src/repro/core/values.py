@@ -27,6 +27,7 @@ built on:
 from __future__ import annotations
 
 import ast
+import functools
 import math
 import operator
 import re
@@ -44,6 +45,7 @@ __all__ = [
     "Quantity",
     "Interval",
     "LimitExpression",
+    "compile_expression",
 ]
 
 #: Canonical representation of an unbounded value (e.g. an open contact).
@@ -400,3 +402,17 @@ class LimitExpression:
 
     def __hash__(self) -> int:
         return hash(self._text)
+
+
+@functools.lru_cache(maxsize=4096)
+def compile_expression(text: str) -> LimitExpression:
+    """Parse *text* into a :class:`LimitExpression`, caching by source text.
+
+    Limit expressions are immutable after construction and their evaluation
+    is pure, so one compiled instance can serve every caller that sees the
+    same textual form.  The interpreter/allocator hot path evaluates the
+    same handful of script parameters thousands of times per campaign;
+    interning the parse step turns each of those into a tree walk instead
+    of an ``ast.parse``.
+    """
+    return LimitExpression(text)

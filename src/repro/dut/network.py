@@ -27,6 +27,47 @@ __all__ = ["Network", "GROUND"]
 GROUND = "gnd"
 
 
+def _solve_dense(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting, in place.
+
+    Deterministic (fixed pivot choice) and exact enough for the DC
+    networks at hand; raises :class:`HarnessError` on a singular system,
+    mirroring the numpy fallback.
+    """
+    size = len(rhs)
+    for column in range(size):
+        pivot_row = column
+        pivot = abs(matrix[column][column])
+        for row in range(column + 1, size):
+            candidate = abs(matrix[row][column])
+            if candidate > pivot:
+                pivot, pivot_row = candidate, row
+        if pivot == 0.0:
+            raise HarnessError("electrical network is singular")
+        if pivot_row != column:
+            matrix[column], matrix[pivot_row] = matrix[pivot_row], matrix[column]
+            rhs[column], rhs[pivot_row] = rhs[pivot_row], rhs[column]
+        upper = matrix[column]
+        diagonal = upper[column]
+        for row in range(column + 1, size):
+            lower = matrix[row]
+            factor = lower[column]
+            if factor == 0.0:
+                continue
+            factor /= diagonal
+            for k in range(column, size):
+                lower[k] -= factor * upper[k]
+            rhs[row] -= factor * rhs[column]
+    solution = [0.0] * size
+    for row in range(size - 1, -1, -1):
+        current = matrix[row]
+        acc = rhs[row]
+        for k in range(row + 1, size):
+            acc -= current[k] * solution[k]
+        solution[row] = acc / current[row]
+    return solution
+
+
 @dataclass(frozen=True)
 class _Resistor:
     node_a: str
@@ -96,6 +137,14 @@ class Network:
 
     # -- solving --------------------------------------------------------------
 
+    #: Systems up to this size are solved by the pure-Python elimination:
+    #: at component-test scale (a dozen-ish nodes) the interpreter solves
+    #: thousands of these per campaign, and numpy's per-call overhead
+    #: (array allocation, dispatch, scalar indexing for the stamps) costs
+    #: more than the arithmetic it vectorises.  Larger systems fall back
+    #: to ``numpy.linalg.solve``.
+    _DENSE_FALLBACK_SIZE = 32
+
     def solve(self) -> dict[str, float]:
         """Solve the network; returns node name -> voltage (ground = 0)."""
         node_count = len(self._nodes)
@@ -104,13 +153,15 @@ class Network:
         if size == 0:
             return {GROUND: 0.0}
 
-        matrix = np.zeros((size, size))
-        rhs = np.zeros(size)
+        matrix = [[0.0] * size for _ in range(size)]
+        rhs = [0.0] * size
+
+        nodes = self._nodes
 
         def index(node: str) -> int | None:
             if node == GROUND:
                 return None
-            return self._nodes[node]
+            return nodes[node]
 
         # Conductance stamps.
         resistors = list(self._resistors)
@@ -122,12 +173,12 @@ class Network:
             a = index(resistor.node_a)
             b = index(resistor.node_b)
             if a is not None:
-                matrix[a, a] += conductance
+                matrix[a][a] += conductance
             if b is not None:
-                matrix[b, b] += conductance
+                matrix[b][b] += conductance
             if a is not None and b is not None:
-                matrix[a, b] -= conductance
-                matrix[b, a] -= conductance
+                matrix[a][b] -= conductance
+                matrix[b][a] -= conductance
 
         # Voltage-source border rows/columns.
         for k, source in enumerate(self._sources):
@@ -135,17 +186,20 @@ class Network:
             p = index(source.positive)
             n = index(source.negative)
             if p is not None:
-                matrix[p, row] += 1.0
-                matrix[row, p] += 1.0
+                matrix[p][row] += 1.0
+                matrix[row][p] += 1.0
             if n is not None:
-                matrix[n, row] -= 1.0
-                matrix[row, n] -= 1.0
+                matrix[n][row] -= 1.0
+                matrix[row][n] -= 1.0
             rhs[row] = source.volts
 
-        try:
-            solution = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise HarnessError(f"electrical network is singular: {exc}") from exc
+        if size <= self._DENSE_FALLBACK_SIZE:
+            solution = _solve_dense(matrix, rhs)
+        else:
+            try:
+                solution = np.linalg.solve(np.asarray(matrix), np.asarray(rhs))
+            except np.linalg.LinAlgError as exc:
+                raise HarnessError(f"electrical network is singular: {exc}") from exc
 
         voltages = {GROUND: 0.0}
         for name, position in self._nodes.items():

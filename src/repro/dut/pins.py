@@ -41,30 +41,35 @@ class Pin:
     def __post_init__(self) -> None:
         if not str(self.name).strip():
             raise HarnessError("pin needs a name")
-
-    @property
-    def key(self) -> str:
-        """Canonical lower-case lookup key."""
-        return self.name.lower()
-
-    @property
-    def is_input(self) -> bool:
-        """True when the test stand stimulates this pin."""
-        return self.kind in (
+        # Pins are immutable and looked up on every simulated measurement;
+        # precompute the derived views once instead of per access.
+        object.__setattr__(self, "_key", self.name.lower())
+        object.__setattr__(self, "_is_input", self.kind in (
             PinKind.RESISTIVE_INPUT,
             PinKind.ANALOG_INPUT,
             PinKind.DIGITAL_INPUT,
             PinKind.SUPPLY,
-        )
+        ))
+        object.__setattr__(self, "_is_output", self.kind in (
+            PinKind.POWER_OUTPUT,
+            PinKind.RETURN_OUTPUT,
+            PinKind.SIGNAL_OUTPUT,
+        ))
+
+    @property
+    def key(self) -> str:
+        """Canonical lower-case lookup key."""
+        return self._key
+
+    @property
+    def is_input(self) -> bool:
+        """True when the test stand stimulates this pin."""
+        return self._is_input
 
     @property
     def is_output(self) -> bool:
         """True when the DUT drives this pin."""
-        return self.kind in (
-            PinKind.POWER_OUTPUT,
-            PinKind.RETURN_OUTPUT,
-            PinKind.SIGNAL_OUTPUT,
-        )
+        return self._is_output
 
     def __str__(self) -> str:
         return self.name
@@ -108,5 +113,13 @@ class OutputDrive:
 
     @classmethod
     def floating(cls) -> "OutputDrive":
-        """Driver off (high impedance)."""
-        return cls(level=0.0, resistance=1.0, driven=False)
+        """Driver off (high impedance).
+
+        Returns a shared immutable instance: every un-driven pin of every
+        measurement asks for this, so one object serves them all.
+        """
+        return _FLOATING
+
+
+#: The one shared high-impedance drive state (see :meth:`OutputDrive.floating`).
+_FLOATING = OutputDrive(level=0.0, resistance=1.0, driven=False)

@@ -124,11 +124,26 @@ class Instrument(abc.ABC):
     def __init__(self, name: str, *, io_delay: float = 0.0):
         if not str(name).strip():
             raise InstrumentError("instrument needs a name")
-        if io_delay < 0:
-            raise InstrumentError("instrument io_delay must be non-negative")
+        io_delay = float(io_delay)
+        if not (io_delay >= 0):  # also rejects NaN
+            raise InstrumentError(
+                f"instrument io_delay must be a non-negative number of "
+                f"seconds, got {io_delay!r}"
+            )
         self.name = str(name).strip()
         #: Simulated wall-clock latency of one method call in seconds.
-        self.io_delay = float(io_delay)
+        self.io_delay = io_delay
+
+    def reset(self) -> None:
+        """Restore the instrument to its idle state (between-jobs hook).
+
+        The executor's stand pool calls this on every instrument of a
+        reused stand before the stand serves its next job.  The bundled
+        instruments are stateless (all electrical state lives in the
+        per-job harness), so the default is a no-op; stateful plugin
+        instruments override it to drop buffered readings, armed triggers
+        and the like.
+        """
 
     # -- capabilities -----------------------------------------------------------
 

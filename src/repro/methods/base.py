@@ -22,11 +22,18 @@ and :mod:`repro.methods.timing` and are collected by
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Mapping, TYPE_CHECKING
 
 from ..core.errors import MethodError
-from ..core.values import Interval, LimitExpression, format_number, parse_number
+from ..core.values import (
+    Interval,
+    LimitExpression,
+    compile_expression,
+    format_number,
+    parse_number,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.status import StatusDefinition
@@ -245,6 +252,21 @@ class MethodOutcome:
 # Parameter evaluation helpers (used by instruments and the interpreter)
 # --------------------------------------------------------------------------
 
+@functools.lru_cache(maxsize=4096)
+def _parse_or_compile(text: str) -> float | LimitExpression:
+    """Cached numeric parse of one parameter text, expression fallback.
+
+    Campaign runs evaluate the same handful of textual parameters tens of
+    thousands of times; caching by source text turns each evaluation into
+    a dict hit plus (for expressions) a tree walk, and skips the costly
+    raise-and-catch of the plain-number attempt for expression texts.
+    """
+    try:
+        return parse_number(text)
+    except Exception:
+        return compile_expression(text)
+
+
 def evaluate_parameter(
     params: Mapping[str, str],
     name: str,
@@ -256,15 +278,16 @@ def evaluate_parameter(
 
     Returns *default* when the parameter is absent.
     """
+    wanted = str(name).lower()
     for key, raw in params.items():
-        if str(key).lower() == str(name).lower():
+        if str(key).lower() == wanted:
             text = str(raw).strip()
             if not text:
                 return default
-            try:
-                return parse_number(text)
-            except Exception:
-                return LimitExpression(text).evaluate(variables or {})
+            parsed = _parse_or_compile(text)
+            if isinstance(parsed, LimitExpression):
+                return parsed.evaluate(variables or {})
+            return parsed
     return default
 
 

@@ -25,6 +25,10 @@ class MethodRegistry:
 
     def __init__(self, methods: Iterable[MethodSpec] = ()):
         self._methods: dict[str, MethodSpec] = {}
+        #: Bumped on every mutation; lets content caches (execution plans,
+        #: step-split memos) detect ``replace=True`` updates that change a
+        #: spec without changing the registry's length.
+        self._revision = 0
         for method in methods:
             self.register(method)
 
@@ -37,6 +41,7 @@ class MethodRegistry:
         if method.key in self._methods and not replace:
             raise MethodError(f"method {method.name!r} is already registered")
         self._methods[method.key] = method
+        self._revision += 1
 
     def get(self, name: str) -> MethodSpec:
         """Look a method up by case-insensitive name."""

@@ -61,7 +61,7 @@ from .analysis.faults import (
     window_lifter_faults,
     wiper_faults,
 )
-from .core.errors import ReproError
+from .core.errors import ConfigurationError, ReproError
 from .core.compiler import Compiler
 from .core.script import TestScript
 from .core.signals import Signal, SignalDirection, SignalKind, SignalSet
@@ -758,7 +758,15 @@ class CampaignSpec:
     ``concurrency`` is the multiplex width of the single-worker ``async``
     backend — ``CampaignSpec(dut="wiper_ecu", backend="async",
     concurrency=8)`` drives up to eight stands from one worker.  The choice
-    never changes the verdict table, only the wall clock.
+    never changes the verdict table, only the wall clock.  Invalid values
+    (``jobs < 1``, negative ``concurrency`` or ``retries``) raise
+    :class:`~repro.core.errors.ConfigurationError` (a ``ValueError``) at
+    construction instead of being silently clamped later.
+
+    ``use_plans`` / ``reuse_stands`` are the compile-once-run-many fast
+    paths (cached execution plans, per-worker stand pools).  Both default
+    on and never change the verdict table; turning one off exists for A/B
+    wall-clock comparisons like ``tools/bench_trajectory.py``.
     """
 
     dut: str | None = None
@@ -771,6 +779,8 @@ class CampaignSpec:
     jobs: int = 1
     concurrency: int = 0
     retries: int = 1
+    use_plans: bool = True
+    reuse_stands: bool = True
 
     def __post_init__(self) -> None:
         faults = self.faults
@@ -781,6 +791,19 @@ class CampaignSpec:
             # would otherwise silently explode the string into characters.
             faults = faults.split(",")
         object.__setattr__(self, "faults", tuple(faults))
+        if int(self.jobs) < 1:
+            raise ConfigurationError(
+                f"campaign jobs must be >= 1, got {self.jobs}"
+            )
+        if int(self.concurrency) < 0:
+            raise ConfigurationError(
+                "campaign concurrency must be non-negative "
+                f"(0 = automatic), got {self.concurrency}"
+            )
+        if int(self.retries) < 0:
+            raise ConfigurationError(
+                f"campaign retries must be non-negative, got {self.retries}"
+            )
 
 
 def _resolve_suite(spec: CampaignSpec) -> TestSuite:
@@ -869,6 +892,8 @@ def build_campaign(spec: CampaignSpec, *,
         policy=spec.policy,
         executor=executor,
         max_attempts=1 + max(0, spec.retries),
+        use_plans=spec.use_plans,
+        reuse_stands=spec.reuse_stands,
     )
     return campaign, faults
 

@@ -6,6 +6,12 @@ through the job-based engine in :mod:`repro.teststand.executor`, which fans
 async backends and aggregates deterministically.  The async backend drives
 many latency-simulated stands from one worker by awaiting instrument I/O
 (:meth:`TestStandInterpreter.arun` / :func:`aexecute_job`).
+
+Execution is compile-once-run-many: :mod:`repro.teststand.plan` caches the
+pre-resolved allocation sequence per (script x stand-topology x policy x
+variables) in :data:`GLOBAL_PLAN_CACHE`, workers reuse pooled stands
+between jobs, and the process backend dispatches jobs in chunks - all
+verdict-neutral fast paths (see ``docs/performance.md``).
 """
 
 from .allocator import ALLOCATION_POLICIES, Allocation, Allocator
@@ -36,6 +42,14 @@ from .executor import (
     run_jobs,
 )
 from .interpreter import TestStandInterpreter, run_script
+from .plan import (
+    GLOBAL_PLAN_CACHE,
+    ExecutionPlan,
+    PlanCache,
+    PlanCacheStats,
+    compile_plan,
+)
+from .profiling import PROFILER, PhaseProfiler
 from .report import campaign_summary, format_table, json_report, summary_line, text_report
 from .resources import Resource, ResourceTable
 from .stands import (
@@ -68,6 +82,13 @@ __all__ = [
     "PAPER_PINS",
     "TestStandInterpreter",
     "run_script",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "GLOBAL_PLAN_CACHE",
+    "compile_plan",
+    "PROFILER",
+    "PhaseProfiler",
     "EXECUTION_BACKENDS",
     "DEFAULT_ASYNC_CONCURRENCY",
     "Job",

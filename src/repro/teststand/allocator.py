@@ -49,6 +49,9 @@ __all__ = ["Allocation", "Allocator", "ALLOCATION_POLICIES"]
 #: Names of the supported allocation policies.
 ALLOCATION_POLICIES = ("first_fit", "best_fit", "least_used")
 
+#: Sentinel: :meth:`Allocator.replay` should evaluate the window itself.
+_WINDOW_UNSET = object()
+
 
 @dataclass(frozen=True)
 class Allocation:
@@ -159,6 +162,67 @@ class Allocator:
             method=call.method,
         )
 
+    def replay(
+        self,
+        signal: Signal,
+        call: MethodCall,
+        planned: Allocation,
+        variables: Mapping[str, float] | None = None,
+        *,
+        window: tuple | None | object = _WINDOW_UNSET,
+    ) -> Allocation | None:
+        """Re-commit a pre-resolved allocation if it still fits, else ``None``.
+
+        This is the execution-plan fast path: the expensive parts of
+        :meth:`allocate` - filtering every resource's capabilities and
+        searching the connection matrix for free routes - were done once at
+        plan-compile time; here only the *variable-dependent* capability
+        window and the availability of the exact planned routes are
+        re-checked.  Any mismatch (the window moved, a terminal or mux
+        channel is held for another signal, the signal's pins changed)
+        returns ``None`` and the caller falls back to the full search, so a
+        replayed run can never produce a different allocation than a fresh
+        one.
+
+        *window* is the pre-evaluated :meth:`capability_window` the plan
+        stored for this entry (``None`` = nothing to range-check); when not
+        given it is evaluated from *variables* here.
+        """
+        try:
+            resource = self.resources.get(planned.resource)
+        except AllocationError:
+            return None
+        # The cheap variable-dependent re-check: does the requested nominal /
+        # acceptance window still fit this resource's capability range?
+        if window is _WINDOW_UNSET:
+            if not self._capability_fits(resource, call, dict(variables or {})):
+                return None
+        elif window is not None:
+            capability, nominal, acceptance = window
+            if not capability.can_serve(nominal, acceptance):
+                return None
+        if signal.is_bus:
+            if not resource.is_bus_interface or planned.routes:
+                return None
+        else:
+            planned_pins = tuple(route.pin.lower() for route in planned.routes)
+            if planned_pins != tuple(pin.lower() for pin in signal.pins):
+                return None
+            signal_key = signal.key
+            for route in planned.routes:
+                holder = self._held_terminals.get((resource.key, route.terminal))
+                if holder is not None and holder != signal_key:
+                    return None
+                if isinstance(route.connector, MuxChannel):
+                    selection = self._mux_selection.get(route.connector.mux)
+                    if selection is not None and selection != (
+                        route.connector.label, signal_key,
+                    ):
+                        return None
+        self.attempts += 1
+        self._register(signal.key, resource, planned.routes, planned.persistent)
+        return planned
+
     def release(self, signal: str) -> None:
         """Release every terminal and mux selection held for *signal*."""
         key = str(signal).lower()
@@ -193,9 +257,19 @@ class Allocator:
             return self.registry.get(method).is_stimulus
         return str(method).lower().startswith("put")
 
-    def _capability_fits(
+    def capability_window(
         self, resource: Resource, call: MethodCall, variables: Mapping[str, float]
-    ) -> bool:
+    ) -> tuple | None:
+        """The evaluated range-check inputs of *call* against *resource*.
+
+        Returns ``(capability, nominal, acceptance)`` - the resource's
+        capability row plus the call's evaluated nominal value and
+        acceptance interval - or ``None`` when there is nothing to
+        range-check (e.g. ``put_can`` payloads: supporting the method is
+        enough).  This is the *variable-dependent* half of a capability
+        check; execution plans store it per entry so replays only pay the
+        float comparisons of :meth:`Capability.can_serve`.
+        """
         capability = resource.capability_for(call.method)
         attribute = capability.attribute
         nominal = None
@@ -211,9 +285,16 @@ class Allocator:
         except Exception:
             acceptance = None
         if nominal is None and acceptance is None:
-            # Nothing to range-check (e.g. put_can payloads): supporting the
-            # method is enough.
+            return None
+        return (capability, nominal, acceptance)
+
+    def _capability_fits(
+        self, resource: Resource, call: MethodCall, variables: Mapping[str, float]
+    ) -> bool:
+        window = self.capability_window(resource, call, variables)
+        if window is None:
             return True
+        capability, nominal, acceptance = window
         return capability.can_serve(nominal, acceptance)
 
     def _order_candidates(
@@ -266,6 +347,24 @@ class Allocator:
             return route
         return None
 
+    def _register(
+        self,
+        signal_key: str,
+        resource: Resource,
+        routes: tuple[Route, ...],
+        persistent: bool,
+    ) -> None:
+        """Book the holds and statistics of one successful allocation."""
+        if persistent:
+            for route in routes:
+                self._held_terminals[(resource.key, route.terminal)] = signal_key
+                if isinstance(route.connector, MuxChannel):
+                    self._mux_selection[route.connector.mux] = (
+                        route.connector.label,
+                        signal_key,
+                    )
+        self._allocation_counts[resource.key] = self._allocation_counts.get(resource.key, 0) + 1
+
     def _commit(
         self,
         signal: Signal,
@@ -274,15 +373,7 @@ class Allocator:
         routes: tuple[Route, ...],
         persistent: bool,
     ) -> Allocation:
-        if persistent:
-            for route in routes:
-                self._held_terminals[(resource.key, route.terminal)] = signal.key
-                if isinstance(route.connector, MuxChannel):
-                    self._mux_selection[route.connector.mux] = (
-                        route.connector.label,
-                        signal.key,
-                    )
-        self._allocation_counts[resource.key] = self._allocation_counts.get(resource.key, 0) + 1
+        self._register(signal.key, resource, routes, persistent)
         return Allocation(
             signal=signal.name,
             method=call.method,

@@ -38,17 +38,22 @@ serial backend scales linearly (benchmark A4).
 from __future__ import annotations
 
 import asyncio
+import math
 import pickle
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..core.errors import ReproError
+from ..core.errors import ConfigurationError, ReproError
 from ..core.script import TestScript
 from ..core.signals import SignalSet
 from .interpreter import TestStandInterpreter
+from .plan import GLOBAL_PLAN_CACHE
 from .report import format_table
+from .stands import TestStand
 from .verdict import TestResult, Verdict
 
 __all__ = [
@@ -87,10 +92,19 @@ class Job:
     """One independent unit of campaign work: run one script once.
 
     A job owns *factories*, not instances: every execution builds a fresh
-    stand, harness and DUT, so jobs never share mutable state and can run
-    on any worker in any order.  ``group`` tags which campaign axis the job
+    harness and DUT, so jobs never share mutable state and can run on any
+    worker in any order.  ``group`` tags which campaign axis the job
     belongs to (e.g. the fault-model name, or ``"baseline"``), and
     ``index`` fixes the job's place in the deterministic aggregate.
+
+    Two fast-path switches ride along (both on by default, neither ever
+    changes a verdict): ``reuse_stands`` lets the executing worker lease
+    the stand from its per-worker pool (one stand per distinct
+    ``stand_factory``, :meth:`~repro.teststand.stands.TestStand.reset`
+    between jobs) instead of rebuilding it, and ``use_plans`` lets the
+    interpreter replay the cached
+    :class:`~repro.teststand.plan.ExecutionPlan` for the (script x stand x
+    policy) combination instead of searching resources per action.
     """
 
     index: int
@@ -103,6 +117,8 @@ class Job:
     stop_on_error: bool = False
     group: str = ""
     stand_label: str = ""
+    use_plans: bool = True
+    reuse_stands: bool = True
 
     @property
     def job_id(self) -> str:
@@ -131,35 +147,98 @@ class JobResult:
         return self.result.verdict if self.result is not None else Verdict.ERROR
 
 
-def _interpreter_for(job: Job) -> TestStandInterpreter:
-    """Build a fresh (ECU, harness, stand) interpreter for one job execution."""
+# ---------------------------------------------------------------------------
+# Per-worker stand reuse
+# ---------------------------------------------------------------------------
+
+#: Per-thread stand pools: {stand_factory -> [idle stands]}.  Thread-local
+#: storage gives every worker thread (and every worker process' main thread)
+#: its own pools, so pooled stands are never shared between OS threads; the
+#: async backend's interleaved jobs run on one thread and simply pop
+#: distinct stands from the same pool.  Bounded: the least recently used
+#: factories are dropped so long-lived sessions spanning many campaigns do
+#: not accumulate stands forever.
+_WORKER_STANDS = threading.local()
+
+#: How many distinct stand factories one worker keeps pools for.
+_STAND_POOL_FACTORIES = 16
+
+
+def _lease_stand(job: Job) -> tuple[TestStand, bool]:
+    """A stand for *job*: pooled (and reset) when reuse is on, else fresh."""
+    if not job.reuse_stands:
+        return job.stand_factory(), False
+    pools: OrderedDict = getattr(_WORKER_STANDS, "pools", None)
+    if pools is None:
+        pools = _WORKER_STANDS.pools = OrderedDict()
+    pool = pools.get(job.stand_factory)
+    if pool is None:
+        pool = pools[job.stand_factory] = []
+        while len(pools) > _STAND_POOL_FACTORIES:
+            pools.popitem(last=False)
+    else:
+        pools.move_to_end(job.stand_factory)
+    if pool:
+        stand = pool.pop()
+        # Reset on lease, not on return: a run that died mid-job still
+        # hands its successor a clean stand.
+        stand.reset()
+        return stand, True
+    return job.stand_factory(), True
+
+
+def _return_stand(job: Job, stand: TestStand, pooled: bool) -> None:
+    if not pooled:
+        return
+    pools = getattr(_WORKER_STANDS, "pools", None)
+    if pools is None:
+        return
+    pool = pools.get(job.stand_factory)
+    if pool is not None:
+        pool.append(stand)
+
+
+def _interpreter_for(job: Job, stand: TestStand) -> TestStandInterpreter:
+    """Build a fresh (ECU, harness) interpreter for one execution on *stand*."""
     ecu = job.ecu_factory()
     harness = job.harness_factory(ecu)
-    stand = job.stand_factory()
     return TestStandInterpreter(
         stand, harness, job.signals,
         policy=job.policy, stop_on_error=job.stop_on_error,
+        plan_cache=GLOBAL_PLAN_CACHE if job.use_plans else None,
     )
 
 
 def execute_job(job: Job) -> TestResult:
-    """Build a fresh (ECU, harness, stand, interpreter) and run the job once.
+    """Build a fresh (ECU, harness) interpreter, lease a stand, run once.
 
     Instrument I/O is synchronous (each call blocks for the instrument's
     ``io_delay``); the serial / thread / process backends use this path.
+    The stand comes from the worker's reuse pool when the job allows it
+    (fresh allocator and harness per run keep the verdicts identical) and
+    is returned to the pool afterwards.
     """
-    return _interpreter_for(job).run(job.script)
+    stand, pooled = _lease_stand(job)
+    try:
+        return _interpreter_for(job, stand).run(job.script)
+    finally:
+        _return_stand(job, stand, pooled)
 
 
 async def aexecute_job(job: Job) -> TestResult:
-    """Build a fresh (ECU, harness, stand, interpreter) and await the job once.
+    """Build a fresh (ECU, harness) interpreter, lease a stand, await once.
 
     The awaitable twin of :func:`execute_job`: instrument I/O goes through
     :meth:`~repro.teststand.interpreter.TestStandInterpreter.arun`, so the
     calling event loop can interleave other jobs while this job's stand is
-    waiting on (simulated) instrument latency.
+    waiting on (simulated) instrument latency.  Interleaved jobs lease
+    *distinct* stands from the single async worker's pool.
     """
-    return await _interpreter_for(job).arun(job.script)
+    stand, pooled = _lease_stand(job)
+    try:
+        return await _interpreter_for(job, stand).arun(job.script)
+    finally:
+        _return_stand(job, stand, pooled)
 
 
 def _execute_with_retries(job: Job, max_attempts: int) -> JobResult:
@@ -272,27 +351,63 @@ class ThreadExecutor(Executor):
                 yield futures[future], future.result()
 
 
+def _run_job_chunk(
+    fn: Callable[..., JobResult],
+    chunk: Sequence[tuple[int, Job]],
+    extra: tuple,
+) -> list[tuple[int, JobResult]]:
+    """Worker-side chunk runner: execute every job of *chunk* in order."""
+    return [(position, fn(job, *extra)) for position, job in chunk]
+
+
 class ProcessExecutor(Executor):
-    """Runs jobs on a process pool (true parallelism, picklable jobs only)."""
+    """Runs jobs on a process pool (true parallelism, picklable jobs only).
+
+    Jobs are dispatched in *chunks* rather than one future per job: a whole
+    chunk is pickled as one payload, and because campaign expansion shares
+    the script / signal-set objects across its jobs, pickle's per-dump memo
+    serialises each distinct script and signal set **once per chunk**
+    instead of once per job - the same dedup applies to the returned chunk
+    of results (whose ``TestResult``\\ s reference the scripts again).  On
+    campaign workloads this cuts IPC volume by roughly the chunk size.
+    Chunking also lets each worker's plan cache and stand pool serve every
+    job of the chunk after warming up on its first.
+
+    ``chunk_size=None`` (the default) picks ``ceil(n / (workers * 4))``
+    capped at 32 - large enough to amortise the IPC, small enough to keep
+    all workers busy and completion streaming reasonably live.
+    """
 
     name = "process"
 
-    def __init__(self, max_workers: int = 4):
+    def __init__(self, max_workers: int = 4, *, chunk_size: int | None = None):
         self.max_workers = max(1, int(max_workers))
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 (or None for automatic), got {chunk_size}"
+            )
+        self.chunk_size = int(chunk_size) if chunk_size is not None else None
 
     @property
     def workers(self) -> int:
         return self.max_workers
 
+    def _chunked(self, jobs: Sequence[Job]) -> list[list[tuple[int, Job]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, min(32, math.ceil(len(jobs) / (self.max_workers * 4))))
+        indexed = list(enumerate(jobs))
+        return [indexed[start:start + size] for start in range(0, len(indexed), size)]
+
     def map_jobs(self, fn, jobs, *extra):
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {
-                    pool.submit(fn, job, *extra): position
-                    for position, job in enumerate(jobs)
-                }
+                futures = [
+                    pool.submit(_run_job_chunk, fn, chunk, extra)
+                    for chunk in self._chunked(tuple(jobs))
+                ]
                 for future in as_completed(futures):
-                    yield futures[future], future.result()
+                    yield from future.result()
         except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
             raise ReproError(
                 "the process backend requires picklable jobs "
@@ -368,15 +483,21 @@ def make_executor(backend: str = "auto", jobs: int = 1, *,
     width of the single async worker.  When it is left at ``0`` the async
     backend falls back to ``jobs`` (so ``--backend async --jobs 4`` behaves
     as one would guess) and, when that is one too, to
-    :data:`DEFAULT_ASYNC_CONCURRENCY`.  Other backends ignore it; negative
-    values are rejected for every backend.
+    :data:`DEFAULT_ASYNC_CONCURRENCY`.  Other backends ignore it.
+
+    Invalid knobs raise :class:`~repro.core.errors.ConfigurationError` (a
+    ``ValueError``): ``jobs`` below one and negative ``concurrency`` used to
+    be clamped silently, which hid typos like ``--jobs 0``.  ``concurrency
+    == 0`` stays legal — it is the documented "pick for me" value.
     """
     concurrency = int(concurrency)
     if concurrency < 0:
-        raise ReproError(
-            f"concurrency must be non-negative, got {concurrency}"
+        raise ConfigurationError(
+            f"concurrency must be non-negative (0 = automatic), got {concurrency}"
         )
-    jobs = max(1, int(jobs))
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     backend = (backend or "auto").lower()
     if backend == "auto":
         backend = "serial" if jobs == 1 else "thread"
@@ -407,12 +528,16 @@ def expand_jobs(
     *,
     policy: str = "first_fit",
     stop_on_error: bool = False,
+    use_plans: bool = True,
+    reuse_stands: bool = True,
 ) -> tuple[Job, ...]:
     """Expand (ECU groups x stands x scripts) into an ordered job list.
 
     The iteration order — ECU group outermost, then stand, then script —
     defines the deterministic aggregate order, mirroring how a serial
-    campaign would have walked the same cross product.
+    campaign would have walked the same cross product.  ``use_plans`` /
+    ``reuse_stands`` forward to every job (see :class:`Job`); leaving them
+    on is always safe, turning them off exists for A/B measurements.
     """
     expanded: list[Job] = []
     for group, ecu_factory in ecus.items():
@@ -429,6 +554,8 @@ def expand_jobs(
                     stop_on_error=stop_on_error,
                     group=group,
                     stand_label=stand_label,
+                    use_plans=use_plans,
+                    reuse_stands=reuse_stands,
                 ))
     return tuple(expanded)
 

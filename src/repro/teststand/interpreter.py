@@ -32,6 +32,16 @@ from ..core.signals import Signal, SignalSet
 from ..dut.harness import TestHarness
 from ..methods import MethodOutcome, MethodRegistry, default_registry
 from .allocator import Allocator
+from .plan import (
+    GLOBAL_PLAN_CACHE,
+    PlanCache,
+    PlanCursor,
+    action_is_measurement,
+    open_circuit_outcome,
+    open_circuit_requested,
+    registry_fingerprint,
+)
+from .profiling import PROFILER
 from .stands import TestStand
 from .verdict import ActionResult, StepResult, TestResult, Verdict
 
@@ -39,7 +49,19 @@ __all__ = ["TestStandInterpreter", "run_script"]
 
 
 class TestStandInterpreter:
-    """Executes :class:`~repro.core.script.TestScript` objects on a stand."""
+    """Executes :class:`~repro.core.script.TestScript` objects on a stand.
+
+    ``plan_cache`` selects the compile-once-run-many fast path: on every
+    run the interpreter looks the (script x stand-topology x policy x
+    variables) combination up in the cache, compiles its
+    :class:`~repro.teststand.plan.ExecutionPlan` on first use and replays
+    the pre-resolved allocations on every later run, re-checking only the
+    cheap variable-dependent capability window and the availability of the
+    planned routes per action (full search on any mismatch - verdicts are
+    byte-identical with plans on or off).  It defaults to the process-wide
+    :data:`~repro.teststand.plan.GLOBAL_PLAN_CACHE`; pass ``None`` to force
+    the pre-plan full search on every action.
+    """
 
     def __init__(
         self,
@@ -50,6 +72,7 @@ class TestStandInterpreter:
         policy: str = "first_fit",
         registry: MethodRegistry | None = None,
         stop_on_error: bool = False,
+        plan_cache: PlanCache | None = GLOBAL_PLAN_CACHE,
     ):
         self.stand = stand
         self.harness = harness
@@ -57,6 +80,8 @@ class TestStandInterpreter:
         self.registry = registry or stand.registry or default_registry()
         self.policy = policy
         self.stop_on_error = stop_on_error
+        self.plan_cache = plan_cache
+        self._plan_cursor: PlanCursor | None = None
         self.allocator = Allocator(
             stand.resources, stand.connections, policy=policy, registry=self.registry
         )
@@ -137,6 +162,20 @@ class TestStandInterpreter:
             raise ExecutionError(
                 f"test stand {self.stand.name!r} does not provide variables {missing}"
             )
+        self._plan_cursor = None
+        if self.plan_cache is not None:
+            # One cache lookup per run; the first run of a combination pays
+            # the compile, every later run replays.  Plan trouble of any
+            # kind silently degrades to the full per-action search.
+            try:
+                plan = self.plan_cache.plan_for(
+                    script, self.signals, self.stand,
+                    policy=self.policy, registry=self.registry,
+                    variables=variables,
+                )
+                self._plan_cursor = plan.cursor()
+            except Exception:
+                self._plan_cursor = None
         return wall_start, variables, self.harness.now
 
     def _collect(
@@ -149,6 +188,11 @@ class TestStandInterpreter:
     ) -> TestResult:
         """Shared run epilogue: release resources, assemble the result."""
         self.allocator.release_all()
+        cursor = self._plan_cursor
+        if cursor is not None:
+            if self.plan_cache is not None:
+                self.plan_cache.note_run(cursor.hits, cursor.misses)
+            self._plan_cursor = None
         # Simulated duration is the harness clock delta, which also covers
         # `wait` actions and time spent during setup - not just the sum of
         # the step durations.
@@ -171,17 +215,30 @@ class TestStandInterpreter:
         return self.signals.get(action.signal)
 
     def _is_measurement(self, action: SignalAction) -> bool:
-        if action.method in self.registry:
-            return self.registry.get(action.method).is_measurement
-        return str(action.method).lower().startswith("get")
+        # Shared with the plan compiler: both must split steps identically.
+        return action_is_measurement(self.registry, action.method)
 
     def _split_step(
         self, step: ScriptStep
-    ) -> tuple[float, list[SignalAction], list[SignalAction]]:
-        """Step prologue shared by both paths: stimuli before expectations."""
+    ) -> tuple[float, tuple[SignalAction, ...], tuple[SignalAction, ...]]:
+        """Step prologue shared by both paths: stimuli before expectations.
+
+        The split depends only on (step, registry), so it is memoised on
+        the step object - campaign runs walk the same steps thousands of
+        times with the same registry.
+        """
         start_time = self.harness.now
-        stimuli = [a for a in step.actions if not self._is_measurement(a)]
-        expectations = [a for a in step.actions if self._is_measurement(a)]
+        # Keyed by registry *content*: every stand carries its own
+        # default_registry() instance, so an identity key would thrash
+        # across workers - and the fingerprint (unlike a registry) adds
+        # nothing noticeable to a pickled step.
+        registry_key = registry_fingerprint(self.registry)
+        cached = step.__dict__.get("_split_memo")
+        if cached is not None and cached[0] == registry_key:
+            return start_time, cached[1], cached[2]
+        stimuli = tuple(a for a in step.actions if not self._is_measurement(a))
+        expectations = tuple(a for a in step.actions if self._is_measurement(a))
+        step.__dict__["_split_memo"] = (registry_key, stimuli, expectations)
         return start_time, stimuli, expectations
 
     def _step_result(
@@ -240,14 +297,40 @@ class TestStandInterpreter:
             self.harness.advance(duration)
             return ActionResult(action, Verdict.PASS)
 
-        open_circuit = self._realise_open_circuit(action, signal, variables)
-        if open_circuit is not None:
-            return open_circuit
+        allocation = None
+        cursor = self._plan_cursor
+        if cursor is not None:
+            # Plan fast path: the next planned entry must describe exactly
+            # this action (the cursor verifies signal and method, and the
+            # replay re-checks window and route availability) - any
+            # mismatch falls through to the full slow path below.
+            entry = cursor.take(signal.key, action.method)
+            if entry is not None:
+                if entry.kind == "open":
+                    cursor.hits += 1
+                    return self._apply_open_circuit(action, signal, entry.outcome)
+                allocation = self.allocator.replay(
+                    signal, action.call, entry.allocation, variables,
+                    window=entry.window,
+                )
+                if allocation is not None:
+                    cursor.hits += 1
+                else:
+                    cursor.reject()
 
-        try:
-            allocation = self.allocator.allocate(signal, action.call, variables)
-        except AllocationError as exc:
-            return ActionResult(action, Verdict.ERROR, error=str(exc))
+        if allocation is None:
+            open_circuit = self._realise_open_circuit(action, signal, variables)
+            if open_circuit is not None:
+                return open_circuit
+            t0 = _time.perf_counter() if PROFILER.enabled else None
+            try:
+                allocation = self.allocator.allocate(signal, action.call, variables)
+            except AllocationError as exc:
+                if t0 is not None:
+                    PROFILER.add("allocation", _time.perf_counter() - t0)
+                return ActionResult(action, Verdict.ERROR, error=str(exc))
+            if t0 is not None:
+                PROFILER.add("allocation", _time.perf_counter() - t0)
 
         resource = self.stand.resources.get(allocation.resource)
         return resource, allocation, signal
@@ -259,6 +342,7 @@ class TestStandInterpreter:
         if isinstance(prepared, ActionResult):
             return prepared
         resource, allocation, signal = prepared
+        t0 = _time.perf_counter() if PROFILER.enabled else None
         try:
             outcome = resource.instrument.execute(
                 action.call, signal, allocation.pins, self.harness, dict(variables)
@@ -267,6 +351,9 @@ class TestStandInterpreter:
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
         except Exception as exc:  # harness / model errors surface as execution errors
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+        finally:
+            if t0 is not None:
+                PROFILER.add("instrument_io", _time.perf_counter() - t0)
         verdict = Verdict.PASS if outcome.passed else Verdict.FAIL
         return ActionResult(action, verdict, outcome=outcome, allocation=allocation)
 
@@ -277,6 +364,7 @@ class TestStandInterpreter:
         if isinstance(prepared, ActionResult):
             return prepared
         resource, allocation, signal = prepared
+        t0 = _time.perf_counter() if PROFILER.enabled else None
         try:
             outcome = await resource.instrument.aexecute(
                 action.call, signal, allocation.pins, self.harness, dict(variables)
@@ -287,6 +375,9 @@ class TestStandInterpreter:
         # cancellation propagates instead of being recorded as a verdict.
         except Exception as exc:
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
+        finally:
+            if t0 is not None:
+                PROFILER.add("instrument_io", _time.perf_counter() - t0)
         verdict = Verdict.PASS if outcome.passed else Verdict.FAIL
         return ActionResult(action, verdict, outcome=outcome, allocation=allocation)
 
@@ -300,33 +391,29 @@ class TestStandInterpreter:
         at all.  Doing so also frees the resistor decade for other door
         signals - exactly what a human test-stand operator would do.  The
         acceptance window still has to allow an open circuit (``r_max`` must
-        be unbounded), otherwise the normal allocation path is used.
+        be unbounded), otherwise the normal allocation path is used.  The
+        decision itself is shared with the plan compiler
+        (:func:`~repro.teststand.plan.open_circuit_requested`), which must
+        apply the same release to stay in lock-step.
         """
-        import math
+        if not open_circuit_requested(action, signal, variables):
+            return None
+        return self._apply_open_circuit(
+            action, signal, open_circuit_outcome(action, signal)
+        )
 
-        from ..methods import evaluate_parameter, limits_from_params
+    def _apply_open_circuit(
+        self, action: SignalAction, signal: Signal, outcome: MethodOutcome
+    ) -> ActionResult:
+        """Disconnect the signal's pins and record the ready-made outcome.
 
-        if action.method.lower() != "put_r" or signal.is_bus:
-            return None
-        try:
-            requested = evaluate_parameter(dict(action.call.params), "r", variables)
-        except Exception:
-            return None
-        if requested is None or not math.isinf(requested):
-            return None
-        acceptance = limits_from_params(dict(action.call.params), "r", variables)
-        if not math.isinf(acceptance.high):
-            return None
+        Shared by the slow path (which just decided the action is an open
+        circuit) and the plan fast path (which decided at compile time and
+        carries the identical immutable outcome in its entry).
+        """
         self.allocator.release(signal.key)
         for pin in signal.pins:
             self.harness.release_resistance(pin)
-        outcome = MethodOutcome(
-            method=action.method,
-            passed=True,
-            observed=math.inf,
-            unit="Ohm",
-            detail=f"realised as open circuit at {'/'.join(signal.pins)}",
-        )
         return ActionResult(action, Verdict.PASS, outcome=outcome)
 
 

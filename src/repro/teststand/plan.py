@@ -1,0 +1,622 @@
+"""Compiled execution plans: allocate once, run many.
+
+The paper's interpreter *"searches an appropriate resource that can be
+connected to the signal pin"* for **each method to be carried out** - and a
+naive reproduction repeats that search for every action of every run, even
+though the search result depends only on
+
+* the script (which signals/methods it exercises, in which order),
+* the stand topology (resource table + connection matrix),
+* the allocation policy, and
+* the stand variables the limit expressions reference (``ubatt`` ...),
+
+none of which change between the runs of a campaign.  An
+:class:`ExecutionPlan` therefore pre-resolves the whole allocation sequence
+of one (script x stand-topology x policy x variables) combination exactly
+once - the *variable-independent* part of allocation - and the interpreter
+replays it on every subsequent run, re-checking only the cheap
+variable-dependent capability window plus route availability per action
+(:meth:`~repro.teststand.allocator.Allocator.replay`).  Any discrepancy
+(topology drift, a route unexpectedly held, a capability window that no
+longer fits) falls back to the full search for that action, so the verdict
+table is byte-identical with plans on or off.
+
+Plans live in a :class:`PlanCache` keyed by content fingerprints, never by
+object identity: two stands built by the same factory share one plan, and a
+stand whose topology differs in any observable way (an added resource, a
+rewired route, another supply voltage) misses the cache and gets its own
+plan.  :data:`GLOBAL_PLAN_CACHE` is the process-wide default the executor
+backends use; worker processes each grow their own copy.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..core.errors import AllocationError
+from ..core.script import SignalAction, TestScript
+from ..core.signals import Signal, SignalSet
+from ..methods import (
+    MethodOutcome,
+    MethodRegistry,
+    evaluate_parameter,
+    limits_from_params,
+)
+from .allocator import Allocation, Allocator
+from .stands import TestStand
+
+__all__ = [
+    "PlanEntry",
+    "ExecutionPlan",
+    "PlanCursor",
+    "PlanCacheStats",
+    "PlanCache",
+    "GLOBAL_PLAN_CACHE",
+    "compile_plan",
+    "action_is_measurement",
+    "open_circuit_requested",
+    "open_circuit_outcome",
+    "script_fingerprint",
+    "stand_fingerprint",
+    "registry_fingerprint",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared action semantics (single source for interpreter and plan compiler)
+# ---------------------------------------------------------------------------
+
+def action_is_measurement(registry: MethodRegistry, method: str) -> bool:
+    """Whether *method* is an expectation (evaluated after the step's dt).
+
+    The registry decides where it can; unknown methods fall back to the
+    ``get_*`` naming convention, mirroring what the interpreter has always
+    done.  Plan compilation and the interpreter's step split must agree on
+    this, otherwise a replayed allocation sequence would drift.
+    """
+    if method in registry:
+        return registry.get(method).is_measurement
+    return str(method).lower().startswith("get")
+
+
+def open_circuit_requested(
+    action: SignalAction, signal: Signal, variables: Mapping[str, float]
+) -> bool:
+    """Whether the interpreter will realise this action as an open circuit.
+
+    ``put_r r="INF"`` with an unbounded acceptance window never reaches the
+    allocator - the pin is simply disconnected.  The plan compiler must make
+    the same call (and apply the same release) to keep its simulated
+    allocator state in lock-step with the real run.
+    """
+    if action.method.lower() != "put_r" or signal.is_bus:
+        return False
+    try:
+        requested = evaluate_parameter(dict(action.call.params), "r", variables)
+    except Exception:
+        return False
+    if requested is None or not math.isinf(requested):
+        return False
+    acceptance = limits_from_params(dict(action.call.params), "r", variables)
+    return math.isinf(acceptance.high)
+
+
+def open_circuit_outcome(action: SignalAction, signal: Signal) -> MethodOutcome:
+    """The PASS outcome of an open-circuit realisation.
+
+    Single source for the plan compiler and the interpreter's slow path:
+    replayed and freshly-decided open circuits must render byte-identically
+    in reports, so the literal lives in exactly one place.
+    """
+    return MethodOutcome(
+        method=action.method,
+        passed=True,
+        observed=math.inf,
+        unit="Ohm",
+        detail=f"realised as open circuit at {'/'.join(signal.pins)}",
+    )
+
+
+def allocation_sequence(
+    script: TestScript, registry: MethodRegistry
+) -> Iterator[SignalAction]:
+    """Actions in the exact order the interpreter performs them.
+
+    Setup actions first, then per step all stimuli followed by all
+    expectations - the paper's execution convention.  ``stop_on_error``
+    truncation only ever cuts a suffix off this sequence, so a plan compiled
+    over the full sequence stays aligned with any aborted run.
+    """
+    yield from script.setup
+    for step in script.steps:
+        expectations = []
+        for action in step.actions:
+            if action_is_measurement(registry, action.method):
+                expectations.append(action)
+            else:
+                yield action
+        yield from expectations
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints (content identity, never object identity)
+# ---------------------------------------------------------------------------
+
+class _HashedKey:
+    """A fingerprint tuple with its hash computed once.
+
+    The fingerprints below are deeply nested tuples; hashing one from
+    scratch on every cache lookup (that is: every run) would cost more
+    than the lookup saves.  Wrapping the tuple freezes the hash at
+    construction while equality still compares full content, so hash
+    collisions can never alias two different fingerprints.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: tuple):
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _HashedKey):
+            return self._hash == other._hash and self.value == other.value
+        return NotImplemented
+
+    def __reduce__(self):
+        # String hashes are salted per process (PYTHONHASHSEED): a key
+        # pickled into a worker (e.g. riding a script's fingerprint memo)
+        # must recompute its hash there, or equal-content keys from the
+        # parent and the worker would never compare equal.
+        return (type(self), (self.value,))
+
+    def __repr__(self) -> str:
+        return f"_HashedKey({self.value!r})"
+
+
+def script_fingerprint(script: TestScript, signals: SignalSet) -> "_HashedKey":
+    """Allocation-relevant content identity of (script, resolved signals).
+
+    Covers every action (order, signal, method, parameters) plus the pin /
+    bus resolution of every signal the script touches - everything the
+    allocation sequence depends on.  Step durations and remarks are
+    irrelevant to allocation and deliberately excluded.  The result is
+    memoised on the script object, guarded by the step/setup counts (the
+    only way a ``TestScript`` can grow) *and* by the signal-set object:
+    the same script run against a differently-pinned set must fingerprint
+    afresh, or it would alias the other set's plan.  (The memo keeps a
+    strong reference to the set, so an ``is`` guard cannot be fooled by
+    id reuse.)
+    """
+    guard = (len(script.setup), len(script.steps))
+    cached = script.__dict__.get("_allocation_fingerprint")
+    if cached is not None and cached[0] == guard and cached[1] is signals:
+        return cached[2]
+
+    actions: list[tuple] = []
+    used: dict[str, None] = {}
+
+    def _record(action: SignalAction, marker: str) -> None:
+        used.setdefault(str(action.signal).lower(), None)
+        actions.append((
+            marker,
+            str(action.signal).lower(),
+            action.method.lower(),
+            tuple(sorted(action.call.params.items())),
+        ))
+
+    for action in script.setup:
+        _record(action, "s")
+    for step in script.steps:
+        for action in step.actions:
+            _record(action, str(step.number))
+
+    resolved: list[tuple] = []
+    for key in used:
+        try:
+            signal = signals.get(key)
+        except Exception:
+            resolved.append((key, None))
+            continue
+        resolved.append((
+            key,
+            tuple(p.lower() for p in signal.pins),
+            bool(signal.is_bus),
+            str(signal.message).lower() if signal.message else None,
+        ))
+
+    fingerprint = _HashedKey(
+        (script.name, script.dut.lower(), tuple(actions), tuple(resolved))
+    )
+    script.__dict__["_allocation_fingerprint"] = (guard, signals, fingerprint)
+    return fingerprint
+
+
+def stand_fingerprint(stand: TestStand) -> "_HashedKey":
+    """Topology identity of a test stand: resources, routes, supply, variables.
+
+    Two stands built by the same factory fingerprint identically and share
+    one plan; any observable topology difference - another instrument, a
+    different capability range, a rewired or re-labelled route, another
+    supply voltage or stand variable - changes the fingerprint and therefore
+    invalidates (that is: bypasses) every cached plan.  Memoised on the
+    stand object; stands are treated as topologically immutable once they
+    have executed a script, which every bundled builder guarantees.  The
+    resource/route counts guard the memo anyway, so the common in-place
+    mutations (adding a resource or wiring a new route between runs) are
+    caught rather than silently replaying a stale plan.
+    """
+    guard = (len(stand.resources), len(stand.connections))
+    cached = stand.__dict__.get("_topology_fingerprint")
+    if cached is not None and cached[0] == guard:
+        return cached[1]
+
+    resources: list[tuple] = []
+    # Table order is part of the topology: first_fit takes candidates in
+    # exactly this order, so re-ordered resources must not share a plan.
+    for resource in stand.resources:
+        instrument = resource.instrument
+        resources.append((
+            resource.key,
+            type(instrument).__name__,
+            tuple(instrument.terminals),
+            bool(instrument.is_bus_interface),
+            tuple(
+                (c.method.lower(), c.attribute, c.minimum, c.maximum, c.unit)
+                for c in instrument.capabilities()
+            ),
+        ))
+
+    # Route order is deliberately normalised away (sorted below): a
+    # (resource, terminal, pin) triple is unique within a matrix -
+    # ConnectionMatrix.add rejects duplicates regardless of connector - so
+    # route_between() cannot depend on table order and two stands that
+    # differ only in route insertion order genuinely behave identically.
+    routes: list[tuple] = []
+    for route in stand.connections:
+        connector = route.connector
+        routes.append((
+            route.resource_key,
+            route.terminal,
+            route.pin_key,
+            type(connector).__name__,
+            connector.label,
+            getattr(connector, "mux", None),
+            getattr(connector, "channel", None),
+        ))
+
+    fingerprint = _HashedKey((
+        stand.name,
+        float(stand.supply_voltage),
+        tuple(sorted(stand.variables.items())),
+        tuple(resources),
+        tuple(sorted(routes)),
+    ))
+    stand.__dict__["_topology_fingerprint"] = (guard, fingerprint)
+    return fingerprint
+
+
+def registry_fingerprint(registry: MethodRegistry) -> "_HashedKey":
+    """Identity of the method vocabulary the split/persistence logic reads.
+
+    Memoised on the registry object, guarded by the registry's mutation
+    revision - ``register(..., replace=True)`` changes a spec without
+    changing the length, so counting entries would not be enough.
+    Registries predating the revision counter degrade to recomputing.
+    """
+    revision = getattr(registry, "_revision", None)
+    cached = registry.__dict__.get("_plan_fingerprint")
+    if cached is not None and revision is not None and cached[0] == revision:
+        return cached[1]
+    fingerprint = _HashedKey(tuple(
+        (spec.key, bool(spec.is_measurement), bool(spec.is_stimulus))
+        for spec in registry
+    ))
+    if revision is not None:
+        registry.__dict__["_plan_fingerprint"] = (revision, fingerprint)
+    return fingerprint
+
+
+# ---------------------------------------------------------------------------
+# The plan itself
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One pre-resolved action of the allocation sequence.
+
+    ``kind`` says how the action resolves:
+
+    ``"alloc"``
+        a successful allocation - ``allocation`` carries the resource and
+        routes, ``window`` the pre-evaluated capability window of the
+        planned resource (``(capability, nominal, acceptance)`` as produced
+        by :meth:`~repro.teststand.allocator.Allocator.capability_window`,
+        or ``None`` when the call carries nothing to range-check).  The
+        replay re-checks ``capability.can_serve`` against it per action;
+        the endpoint evaluation itself happened at compile time, which is
+        sound because the variables it depends on are part of the
+        plan-cache key.
+    ``"open"``
+        a ``put_r r="INF"`` realised as an open circuit - ``outcome`` is
+        the ready-made (immutable) PASS outcome, so the run skips the
+        per-action limit evaluation entirely.
+    ``"fail"``
+        the search failed at compile time; the run takes the full search
+        and reports the identical allocation ERROR.  The entry still
+        occupies its slot so the cursor stays aligned with the run.
+    """
+
+    signal_key: str
+    method_key: str
+    kind: str = "alloc"
+    allocation: Allocation | None = None
+    window: tuple | None = None
+    outcome: object | None = None
+
+
+class ExecutionPlan:
+    """The pre-resolved allocation sequence of one (script x stand x policy)."""
+
+    __slots__ = ("entries", "key")
+
+    def __init__(self, entries: tuple[PlanEntry, ...], key: tuple = ()):
+        self.entries = tuple(entries)
+        self.key = key
+
+    def cursor(self) -> "PlanCursor":
+        """A fresh replay cursor for one run."""
+        return PlanCursor(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"ExecutionPlan(entries={len(self.entries)})"
+
+
+class PlanCursor:
+    """Walks one plan along one run, detecting divergence.
+
+    Every allocator visit of the run calls :meth:`take`; the cursor hands
+    out the next planned entry when the visit matches it and degrades to
+    full-search misses - for the rest of the run - as soon as the sequence
+    diverges.  ``hits`` / ``misses`` feed the plan-cache statistics.
+    """
+
+    __slots__ = ("_entries", "_index", "_diverged", "hits", "misses")
+
+    def __init__(self, entries: tuple[PlanEntry, ...]):
+        self._entries = entries
+        self._index = 0
+        self._diverged = False
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, signal_key: str, method: str) -> PlanEntry | None:
+        """Next planned entry for this visit, or ``None`` for the slow path."""
+        if self._diverged or self._index >= len(self._entries):
+            self.misses += 1
+            return None
+        entry = self._entries[self._index]
+        if entry.signal_key != signal_key or entry.method_key != str(method).lower():
+            # The run visits its actions in a different order than the
+            # plan predicted - stop trusting the remaining entries.
+            self._diverged = True
+            self.misses += 1
+            return None
+        self._index += 1
+        if entry.kind == "fail":
+            self.misses += 1
+            return None
+        return entry
+
+    def reject(self) -> None:
+        """The taken entry could not be replayed: count the miss, diverge.
+
+        A failed replay means the live allocator state differs from the
+        compile-time simulation, so subsequent entries are unreliable too.
+        """
+        self._diverged = True
+        self.misses += 1
+
+
+def compile_plan(
+    script: TestScript,
+    signals: SignalSet,
+    stand: TestStand,
+    *,
+    policy: str,
+    registry: MethodRegistry,
+    variables: Mapping[str, float],
+    key: tuple = (),
+) -> ExecutionPlan:
+    """Resolve the whole allocation sequence of *script* on *stand* once.
+
+    Runs the interpreter's exact allocator visit order against a scratch
+    :class:`~repro.teststand.allocator.Allocator` (same policy, same
+    registry, same variables) and records each resulting
+    :class:`~repro.teststand.allocator.Allocation`.  Failed searches are
+    recorded as unplannable slots; open-circuit realisations apply the same
+    release they apply at run time so the simulated hold state stays in
+    lock-step.
+    """
+    allocator = Allocator(
+        stand.resources, stand.connections, policy=policy, registry=registry
+    )
+    entries: list[PlanEntry] = []
+    for action in allocation_sequence(script, registry):
+        try:
+            signal = signals.get(action.signal)
+        except Exception:
+            continue  # the run errors before reaching the allocator
+        method_key = action.method.lower()
+        if method_key == "wait":
+            continue  # served by the interpreter without a resource
+        if open_circuit_requested(action, signal, variables):
+            allocator.release(signal.key)
+            entries.append(PlanEntry(
+                signal.key, method_key, kind="open",
+                outcome=open_circuit_outcome(action, signal),
+            ))
+            continue
+        try:
+            allocation = allocator.allocate(signal, action.call, variables)
+        except AllocationError:
+            entries.append(PlanEntry(signal.key, method_key, kind="fail"))
+            continue
+        resource = stand.resources.get(allocation.resource)
+        window = allocator.capability_window(resource, action.call, variables)
+        entries.append(PlanEntry(
+            signal.key, method_key, kind="alloc",
+            allocation=allocation, window=window,
+        ))
+    return ExecutionPlan(tuple(entries), key)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+class PlanCacheStats:
+    """Counters describing how well the plan cache is working.
+
+    ``plan_hits`` / ``plan_misses`` count run-level lookups (a miss
+    compiles); ``action_replays`` / ``action_fallbacks`` count individual
+    allocator visits served from a plan vs. falling back to full search.
+    """
+
+    __slots__ = (
+        "plans_compiled", "plan_hits", "plan_misses",
+        "action_replays", "action_fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.plans_compiled = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.action_replays = 0
+        self.action_fallbacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of allocator visits served by replay (1.0 when all)."""
+        total = self.action_replays + self.action_fallbacks
+        if total == 0:
+            return 0.0
+        return self.action_replays / total
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "plans_compiled": self.plans_compiled,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "action_replays": self.action_replays,
+            "action_fallbacks": self.action_fallbacks,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled execution plans.
+
+    Keys are content fingerprints of (script, resolved signals, stand
+    topology, policy, variables, method registry) - see the module
+    docstring for why identity would be wrong on both sides.  The cache is
+    shared by every worker thread of a process (the async backend's
+    interleaved jobs included); worker *processes* each hold their own.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = max(1, int(maxsize))
+        self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the statistics."""
+        with self._lock:
+            self._plans.clear()
+            self.stats.reset()
+
+    def note_run(self, hits: int, misses: int) -> None:
+        """Fold one finished run's cursor counters into the statistics."""
+        with self._lock:
+            self.stats.action_replays += int(hits)
+            self.stats.action_fallbacks += int(misses)
+
+    def plan_for(
+        self,
+        script: TestScript,
+        signals: SignalSet,
+        stand: TestStand,
+        *,
+        policy: str,
+        registry: MethodRegistry,
+        variables: Mapping[str, float],
+    ) -> ExecutionPlan:
+        """The cached plan for this combination, compiling it on first use.
+
+        A compile failure of any kind caches an *empty* plan: every visit
+        of such a run misses and takes the full search, which is exactly
+        the pre-plan behaviour.
+        """
+        key = (
+            script_fingerprint(script, signals),
+            stand_fingerprint(stand),
+            str(policy),
+            tuple(sorted((str(k).lower(), float(v)) for k, v in variables.items())),
+            registry_fingerprint(registry),
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_hits += 1
+                return plan
+            self.stats.plan_misses += 1
+
+        # Compile outside the lock: a compile is a full allocation pass,
+        # and holding the cache-wide lock for it would serialise every
+        # other worker's lookups during campaign warm-up.  Two workers
+        # racing on the same key compile identical plans (the inputs are
+        # the key); the first insert wins, the loser's work is discarded.
+        try:
+            plan = compile_plan(
+                script, signals, stand,
+                policy=policy, registry=registry, variables=variables, key=key,
+            )
+            compiled = True
+        except Exception:
+            plan = ExecutionPlan((), key)
+            compiled = False
+
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                self._plans.move_to_end(key)
+                return existing
+            if compiled:
+                self.stats.plans_compiled += 1
+            self._plans[key] = plan
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+            return plan
+
+
+#: Process-wide default cache used by the interpreter and executor backends.
+GLOBAL_PLAN_CACHE = PlanCache()

@@ -80,6 +80,24 @@ class TestStand:
         if self.registry is None:
             self.registry = default_registry()
 
+    def reset(self) -> None:
+        """Restore the stand to its between-jobs idle state.
+
+        Called by the executor's per-worker stand pool before a pooled
+        stand serves its next job: every instrument gets its
+        :meth:`~repro.instruments.Instrument.reset` hook invoked so that
+        stateful instruments (none of the bundled ones are, but plugins may
+        be) drop anything a previous - possibly aborted - run left behind.
+        Allocation holds and mux selections live in the per-run
+        :class:`~repro.teststand.allocator.Allocator` and applied stimuli in
+        the per-run :class:`~repro.dut.harness.TestHarness`, so a reset
+        stand plus a fresh allocator/harness is indistinguishable from a
+        freshly built stand - the invariant the stand-reuse fast path (and
+        its byte-identical-verdict guarantee) rests on.
+        """
+        for resource in self.resources:
+            resource.instrument.reset()
+
     def resource_rows(self) -> list[tuple[str, ...]]:
         """The stand's resource table (paper T3 layout)."""
         return self.resources.rows()

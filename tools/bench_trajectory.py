@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Perf trajectory harness: run the executor benchmarks, write BENCH_executor.json.
+
+Every PR that touches the execution hot path should leave a data point
+behind.  This tool runs quick variants of the repository's four
+executor-economics benchmarks -
+
+* **plan_cache** (the E4 family workload): the whole body-electronics
+  family campaigned serially, once with execution plans + stand reuse off
+  and once with them on - the compile-once-run-many headline number,
+* **executor_scaling** (A3): one DUT campaign serial vs. a 4-worker
+  thread pool,
+* **portability** (E1): the paper suite across all three bundled stands,
+* **async_stands** (A4): one script on N latency-simulated stands, serial
+  vs. one async worker -
+
+and writes the wall clocks, speedup ratios and plan-cache statistics to
+``BENCH_executor.json`` (schema below).  CI runs ``--quick`` on every push,
+uploads the file as an artifact and **fails when the plan-cached serial
+path is not faster than the uncached one** - the one regression this file
+exists to catch.  Compare the JSON against the previous commit's artifact
+to read the trajectory.
+
+Usage::
+
+    python tools/bench_trajectory.py [--quick] [--output BENCH_executor.json]
+
+Exit codes: 0 = measured and gates passed, 1 = a perf gate failed,
+2 = the harness itself could not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Compiler                                   # noqa: E402
+from repro.dut import InteriorLightEcu                            # noqa: E402
+from repro.paper import interior_harness, paper_signal_set, paper_suite  # noqa: E402
+from repro.targets import (                                       # noqa: E402
+    CampaignSpec,
+    build_campaign,
+    campaignable_dut_names,
+)
+from repro.teststand import (                                     # noqa: E402
+    GLOBAL_PLAN_CACHE,
+    AsyncExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    build_paper_stand,
+    expand_jobs,
+    run_across_stands,
+    run_jobs,
+)
+from repro.teststand.stands import build_big_rack, build_minimal_bench  # noqa: E402
+
+#: Schema version of the emitted JSON.
+SCHEMA = 1
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Best (minimum) wall clock of *rounds* invocations of *fn*."""
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_plan_cache(rounds: int) -> dict:
+    """E4 family workload: serial campaign execution, plans off vs. on."""
+    duts = campaignable_dut_names()
+
+    def _campaigns(use_plans: bool):
+        return [
+            build_campaign(CampaignSpec(
+                dut=dut, use_plans=use_plans, reuse_stands=use_plans,
+            ))
+            for dut in duts
+        ]
+
+    def _run(campaigns) -> None:
+        for campaign, faults in campaigns:
+            campaign.run(faults)
+
+    uncached_campaigns = _campaigns(False)
+    cached_campaigns = _campaigns(True)
+    jobs = sum(
+        (1 + len(faults)) * len(campaign.scripts)
+        for campaign, faults in cached_campaigns
+    )
+
+    GLOBAL_PLAN_CACHE.clear()
+    uncached = _best_of(lambda: _run(uncached_campaigns), rounds)
+    GLOBAL_PLAN_CACHE.clear()
+    _run(cached_campaigns)  # warm-up pass pays the plan compiles
+    cached = _best_of(lambda: _run(cached_campaigns), rounds)
+    stats = GLOBAL_PLAN_CACHE.stats.snapshot()
+
+    return {
+        "workload": f"{len(duts)} DUT family campaign, serial backend, {jobs} jobs/pass",
+        "uncached_s": round(uncached, 4),
+        "cached_s": round(cached, 4),
+        "speedup": round(uncached / cached, 2) if cached > 0 else None,
+        "plan_cache": stats,
+    }
+
+
+def bench_executor_scaling(rounds: int) -> dict:
+    """A3 quick variant: one DUT campaign, serial vs. 4 worker threads."""
+    campaign, faults = build_campaign(CampaignSpec(dut="wiper_ecu"))
+    serial = _best_of(
+        lambda: campaign.run(faults, executor=SerialExecutor()), rounds)
+    threaded = _best_of(
+        lambda: campaign.run(faults, executor=ThreadExecutor(max_workers=4)), rounds)
+    return {
+        "workload": "wiper_ecu campaign",
+        "serial_s": round(serial, 4),
+        "thread4_s": round(threaded, 4),
+        "speedup": round(serial / threaded, 2) if threaded > 0 else None,
+    }
+
+
+def bench_portability(rounds: int) -> dict:
+    """E1 quick variant: the whole paper suite on all three bundled stands."""
+    suite = paper_suite()
+    scripts = Compiler().compile_suite(suite)
+    stands = {
+        "paper_stand": build_paper_stand,
+        "big_rack": build_big_rack,
+        "minimal_bench": build_minimal_bench,
+    }
+    wall = _best_of(
+        lambda: run_across_stands(
+            scripts, suite.signals, stands, interior_harness, InteriorLightEcu,
+        ),
+        rounds,
+    )
+    return {
+        "workload": f"{len(scripts)} scripts x {len(stands)} stands",
+        "wall_s": round(wall, 4),
+        "runs_per_pass": len(scripts) * len(stands),
+    }
+
+
+def bench_async_stands(rounds: int, *, stands: int, io_delay: float) -> dict:
+    """A4 quick variant: N latency-simulated stands, serial vs. async."""
+    script = Compiler().compile_test(paper_suite(), "interior_illumination")
+    slow_stand = functools.partial(build_paper_stand, io_delay=io_delay)
+    jobs = expand_jobs(
+        (script,),
+        paper_signal_set(),
+        {f"stand{i}": slow_stand for i in range(stands)},
+        interior_harness,
+        {"baseline": InteriorLightEcu},
+    )
+    serial = _best_of(lambda: run_jobs(jobs, SerialExecutor()), rounds)
+    asynced = _best_of(
+        lambda: run_jobs(jobs, AsyncExecutor(concurrency=stands)), rounds)
+    return {
+        "workload": f"1 script x {stands} stands @ {io_delay * 1e3:.0f} ms/call",
+        "serial_s": round(serial, 4),
+        "async_s": round(asynced, 4),
+        "speedup": round(serial / asynced, 2) if asynced > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the executor perf benchmarks and write the "
+                    "BENCH_executor.json trajectory point.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="single measurement round and a smaller async "
+                             "workload (what CI runs)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_executor.json"),
+                        help="where to write the JSON (default: repo root)")
+    args = parser.parse_args(argv)
+
+    rounds = 1 if args.quick else 3
+    async_stands = 4 if args.quick else 8
+    io_delay = 0.002 if args.quick else 0.003
+
+    try:
+        workloads = {
+            "plan_cache": bench_plan_cache(rounds),
+            "executor_scaling": bench_executor_scaling(rounds),
+            "portability": bench_portability(rounds),
+            "async_stands": bench_async_stands(
+                rounds, stands=async_stands, io_delay=io_delay),
+        }
+    except Exception as exc:  # noqa: BLE001 - harness problem, not a gate
+        print(f"error: benchmark harness failed: {exc}", file=sys.stderr)
+        return 2
+
+    plan = workloads["plan_cache"]
+    gates = {
+        # The reason this file exists: the compiled-plan serial path must
+        # beat the uncached path, on every machine, on every commit.
+        # Compared on the raw wall clocks - the rounded speedup can read
+        # 1.0 for a path that is genuinely (barely) faster.
+        "plan_cache_faster_than_uncached": plan["cached_s"] < plan["uncached_s"],
+    }
+
+    payload = {
+        "schema": SCHEMA,
+        "benchmark": "executor",
+        "quick": bool(args.quick),
+        "measured_at_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": rounds,
+        "workloads": workloads,
+        "gates": gates,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    print(f"wrote {output}")
+    print(f"  plan cache      : {plan['uncached_s']:.3f} s uncached -> "
+          f"{plan['cached_s']:.3f} s cached ({plan['speedup']}x)")
+    print(f"  executor scaling: {workloads['executor_scaling']['speedup']}x "
+          f"with 4 threads")
+    print(f"  portability     : {workloads['portability']['wall_s']:.3f} s "
+          f"for {workloads['portability']['runs_per_pass']} runs")
+    print(f"  async stands    : {workloads['async_stands']['speedup']}x "
+          f"over serial")
+    if not all(gates.values()):
+        failed = [name for name, passed in gates.items() if not passed]
+        print(f"error: perf gate(s) failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

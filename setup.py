@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description="Reproduction of 'A New Approach to Component Testing' "
                 "(Brinkmeyer, DATE 2005)",
     package_dir={"": "src"},
@@ -20,6 +20,7 @@ setup(
             "repro-run=repro.cli:main_run",
             "repro-report=repro.cli:main_report",
             "repro-campaign=repro.cli:main_campaign",
+            "repro-lint=repro.lint.cli:main",
         ],
     },
 )

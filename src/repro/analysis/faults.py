@@ -171,11 +171,13 @@ def interior_light_faults() -> FaultCatalogue:
                        _IntLightTimerTooLong),
             FaultModel("inverted_night", "NIGHT bit evaluated with wrong polarity",
                        _IntLightInvertedNight),
-            # The paper's own ten-step sheet only exercises DS_FR by day, so
-            # this defect slips through it; the extended suite
-            # (repro.paper.extended) adds the night-time DS_FR test that
-            # catches it - a concrete illustration of the paper's point that
-            # preserved test knowledge must keep growing.
+            # This escape is a machine-derived fact: the static analyzer's
+            # C-DOCUMENTED-ESCAPE rule (repro.lint) proves from the sheets
+            # alone that the paper's ten-step sheet never isolates DS_FR
+            # with a checked non-initial illumination, and that the
+            # extended suite's all_doors_at_night sheet closes the gap.
+            # tests/test_lint.py guards that this stays the registry's
+            # sole detection escape.
             FaultModel("ignores_ds_fr", "front-right door contact not evaluated",
                        _IntLightIgnoresFrontRightDoor, expected_detected=False),
             FaultModel("daylight_illumination", "illumination also lights up by day",

@@ -173,7 +173,22 @@ def _coverage_cell(missing: tuple[str, ...] | None) -> str:
     return "no " + ", no ".join(missing)
 
 
-def _print_target_listing() -> None:
+def _lint_cell(report, dut_name: str) -> str:
+    """Per-DUT lint counts for the ``--list-targets --lint`` listing."""
+    findings = [f for f in report.findings if f.dut == dut_name]
+    if not findings:
+        return "clean"
+    counts = {}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return ", ".join(
+        f"{counts[severity]} {severity}(s)"
+        for severity in ("error", "warning", "note")
+        if severity in counts
+    )
+
+
+def _print_target_listing(*, lint: bool = False) -> None:
     """Print the registered DUTs and stands with their method coverage
     (``--list-targets``).
 
@@ -181,8 +196,15 @@ def _print_target_listing() -> None:
     adapter and whether it supports all methods of the bundled suite
     (e.g. ``bare_bench no get_i``) - the registration-time capability
     negotiation that :func:`repro.targets.run_campaign` enforces as a
-    pre-flight check.
+    pre-flight check.  With ``--lint`` a ``lint:`` line is appended per
+    DUT with the static analyzer's finding counts (``repro-lint`` prints
+    the findings themselves).
     """
+    report = None
+    if lint:
+        from .lint import run_lint
+
+        report = run_lint()
     print("registered DUTs:")
     for target in sorted(targets.iter_duts(), key=lambda t: t.key):
         sheets = len(target.suite_factory()) if target.suite_factory else 0
@@ -200,6 +222,8 @@ def _print_target_listing() -> None:
                 for stand, missing in coverage.items()
             )
             print(f"      coverage: {rendered}")
+        if report is not None:
+            print(f"      lint: {_lint_cell(report, target.name)}")
     print("registered stands:")
     for stand in sorted(targets.iter_stands(), key=lambda t: t.key):
         kind = "adaptable" if stand.adaptable else "fixed paper pinning"
@@ -328,10 +352,13 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
                              "for the serial / thread / async backends")
     parser.add_argument("--list-targets", action="store_true",
                         help="list the registered DUTs and stands, then exit")
+    parser.add_argument("--lint", action="store_true",
+                        help="with --list-targets: append each DUT's static-"
+                             "analysis finding counts (see repro-lint)")
     args = parser.parse_args(argv)
 
     if args.list_targets:
-        _print_target_listing()
+        _print_target_listing(lint=args.lint)
         return 0
     if args.workbook is None and args.dut is None:
         parser.error("a workbook directory or --dut NAME is required")

@@ -182,6 +182,24 @@ class Interval:
     Intervals are the backbone of expectation checking: a ``get_u`` status
     passes when the measured voltage lies inside the interval obtained by
     scaling the status' min/max factors with the stand's supply voltage.
+
+    Edge semantics are part of the contract and the static analyzer's
+    E-EMPTY-INTERVAL rule depends on them being well-defined:
+
+    * the interval is *closed*: ``contains(low)`` and ``contains(high)``
+      are both true, and two intervals sharing only a boundary point
+      ``intersects`` each other;
+    * empty intervals cannot be constructed - ``low > high`` raises
+      :class:`~repro.core.errors.ValueError_` at construction (callers
+      that want normalisation swap the bounds first, as
+      :func:`repro.methods.base.limits_from_params` does), so an interval
+      that silently never matches anything does not exist;
+    * NaN bounds are rejected for the same reason: ``NaN`` compares false
+      against everything, so a NaN bound would slip past the ``low >
+      high`` check yet make ``contains`` unsatisfiable;
+    * a negative ``tolerance`` passed to :meth:`contains` narrows instead
+      of widening and may legitimately produce a never-matching check -
+      that is the caller's explicit request, not a construction artefact.
     """
 
     low: float
@@ -190,13 +208,21 @@ class Interval:
     def __post_init__(self) -> None:
         low = float(self.low)
         high = float(self.high)
+        if math.isnan(low) or math.isnan(high):
+            raise ValueError_(
+                f"interval bounds must not be NaN, got [{low}, {high}]"
+            )
         if low > high:
             raise ValueError_(f"interval low {low} exceeds high {high}")
         object.__setattr__(self, "low", low)
         object.__setattr__(self, "high", high)
 
     def contains(self, value: float, *, tolerance: float = 0.0) -> bool:
-        """Whether *value* lies inside the interval (optionally widened)."""
+        """Whether *value* lies inside the interval (optionally widened).
+
+        Boundary values are inside (closed interval); *tolerance* widens
+        both edges before the check.
+        """
         return (self.low - tolerance) <= value <= (self.high + tolerance)
 
     def scaled(self, factor: float) -> "Interval":
@@ -212,7 +238,13 @@ class Interval:
         return Interval(self.low - margin, self.high + margin)
 
     def intersects(self, other: "Interval") -> bool:
-        """Whether the two intervals overlap."""
+        """Whether the two intervals overlap.
+
+        Closed-interval semantics: touching at a single boundary point
+        (``self.high == other.low``) counts as overlapping.  Because empty
+        intervals cannot be constructed, ``intersects`` never returns a
+        vacuous ``False`` for an interval that could match nothing.
+        """
         return self.low <= other.high and other.low <= self.high
 
     def clamp(self, value: float) -> float:

@@ -1,0 +1,82 @@
+"""``repro-lint``: the static analyzer's command line front end.
+
+Exit codes: 0 clean (notes allowed), 1 warnings, 2 errors (or a broken
+invocation).  ``--format json`` emits one machine-readable document, the
+shape CI consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..targets import TargetError
+from .engine import ALL_RULES, run_lint
+from .findings import EXIT_ERRORS
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Statically analyse the registered DUTs, stands, suites, sheets "
+            "and fault catalogues without executing a single job."
+        ),
+    )
+    parser.add_argument(
+        "--dut", action="append", metavar="NAME",
+        help="limit the analysis to this DUT (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="ID",
+        help="skip this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list all rule ids with severity and summary, then exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in ALL_RULES:
+        print(f"{rule.severity.upper():<7} {rule.id:<26} {rule.summary}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit code (also usable programmatically)."""
+    options = _build_parser().parse_args(argv)
+    if options.list_rules:
+        return _list_rules()
+    try:
+        report = run_lint(
+            duts=options.dut,
+            rules=options.rule,
+            ignore=options.ignore,
+        )
+    except TargetError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_ERRORS
+    if options.format == "json":
+        print(json.dumps(report.as_json_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(report.summary())
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Shared, memoised view of the registry for the lint rules.
+
+Every rule needs some subset of the same expensive artefacts: the bundled
+suite of a DUT, its compiled scripts, a built instance of every stand, the
+variable environment a stand provides.  :class:`LintContext` builds each of
+those at most once per lint run and hands the rules a consistent snapshot -
+nothing here executes a script or touches an instrument beyond building the
+stand object itself (the same probe :class:`~repro.targets.StandTarget`
+performs at registration time).
+
+Factory failures are recorded as ``None`` instead of raising: a broken
+factory must surface as lint findings from the rules that need the
+artefact, not abort the whole analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.compiler import Compiler
+from ..core.script import TestScript
+from ..core.testdef import TestSuite
+from ..methods import MethodRegistry, default_registry
+from ..targets import DutTarget, StandTarget, get_dut, iter_duts, iter_stands
+from ..teststand.stands import TestStand
+
+__all__ = ["LintContext"]
+
+_UNSET = object()
+
+
+class LintContext:
+    """One lint run's memoised view of the registered targets."""
+
+    def __init__(
+        self,
+        duts: Iterable[DutTarget | str] | None = None,
+        stands: Iterable[StandTarget] | None = None,
+        *,
+        registry: MethodRegistry | None = None,
+    ):
+        if duts is None:
+            self.duts: tuple[DutTarget, ...] = iter_duts()
+        else:
+            self.duts = tuple(
+                get_dut(d) if isinstance(d, str) else d for d in duts
+            )
+        self.stands: tuple[StandTarget, ...] = (
+            iter_stands() if stands is None else tuple(stands)
+        )
+        self.registry = registry if registry is not None else default_registry()
+        self._memo: dict[tuple, object] = {}
+
+    # -- generic memoisation -------------------------------------------------
+
+    def memo(self, key: tuple, compute: Callable[[], object]) -> object:
+        """Compute-once storage rules share (e.g. the reachability walk)."""
+        value = self._memo.get(key, _UNSET)
+        if value is _UNSET:
+            value = compute()
+            self._memo[key] = value
+        return value
+
+    # -- per-DUT artefacts ---------------------------------------------------
+
+    def suite(self, dut: DutTarget) -> TestSuite | None:
+        """The DUT's bundled suite, or ``None`` (not bundled / factory failed)."""
+        def build():
+            if dut.suite_factory is None:
+                return None
+            try:
+                return dut.suite_factory()
+            except Exception:
+                return None
+        return self.memo(("suite", dut.key), build)
+
+    def scripts(self, dut: DutTarget) -> tuple[TestScript, ...]:
+        """The compiled scripts of the DUT's bundled suite (empty on failure)."""
+        def build():
+            suite = self.suite(dut)
+            if suite is None:
+                return ()
+            try:
+                return tuple(
+                    Compiler(registry=self.registry).compile_suite(suite)
+                )
+            except Exception:
+                return ()
+        return self.memo(("scripts", dut.key), build)
+
+    def harness(self, dut: DutTarget):
+        """A built healthy harness (ECU + wiring), or ``None`` on failure."""
+        def build():
+            try:
+                return dut.build_harness()
+            except Exception:
+                return None
+        return self.memo(("harness", dut.key), build)
+
+    def catalogue(self, dut: DutTarget):
+        """The DUT's fault catalogue, or ``None`` (not bundled / failed)."""
+        def build():
+            if dut.faults_factory is None:
+                return None
+            try:
+                return dut.faults_factory()
+            except Exception:
+                return None
+        return self.memo(("catalogue", dut.key), build)
+
+    # -- stands --------------------------------------------------------------
+
+    def eligible_stands(self, dut: DutTarget) -> tuple[StandTarget, ...]:
+        """Stands that can physically carry the DUT (adapter pinning)."""
+        return tuple(
+            stand for stand in self.stands
+            if dut.pins is None or stand.adaptable
+        )
+
+    def stand_instance(self, stand: StandTarget,
+                       dut: DutTarget) -> TestStand | None:
+        """A built stand wired to the DUT's pins, or ``None`` on failure."""
+        def build():
+            try:
+                return stand.factory_for(dut.pins)()
+            except Exception:
+                return None
+        return self.memo(("stand", stand.key, dut.pins), build)
+
+    def stand_variables(self, stand: TestStand) -> dict[str, float]:
+        """The variable environment the interpreter would hand the scripts.
+
+        Mirrors ``TestStandInterpreter._variables``: the harness always
+        provides ``ubatt`` and the clock ``t``, the stand adds its own
+        variables and pins ``ubatt`` to its supply voltage.  ``t`` starts
+        at 0 - fine for satisfiability checks, which only need *a* value.
+        """
+        variables: dict[str, float] = {"ubatt": 12.0, "t": 0.0}
+        variables.update({
+            str(k).lower(): float(v) for k, v in stand.variables.items()
+        })
+        variables["ubatt"] = float(stand.supply_voltage)
+        return variables
+
+    # -- method vocabulary ---------------------------------------------------
+
+    def is_measurement(self, method: str) -> bool:
+        """Registry verdict with the interpreter's ``get_*`` fallback."""
+        if method in self.registry:
+            return self.registry.get(method).is_measurement
+        return str(method).lower().startswith("get")

@@ -1,0 +1,239 @@
+"""Rule family X: executor-safety rules.
+
+The async and process executor backends impose contracts no type checker
+enforces: campaign jobs must pickle (process backend), ``arun()`` paths
+must never call a blocking ``execute`` (async backend), and the plan cache
+is only correct when fingerprints are stable across rebuilds of the same
+stand or script.  These rules verify all three statically.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import pickle
+import textwrap
+
+from ..core.compiler import Compiler
+from ..teststand.plan import script_fingerprint, stand_fingerprint
+from .context import LintContext
+from .findings import ERROR, WARNING, LintRule
+
+__all__ = ["RULES", "blocking_execute_calls"]
+
+
+# ---------------------------------------------------------------------------
+# X-UNPICKLABLE-FACTORY
+# ---------------------------------------------------------------------------
+
+def _pickle_problem(value) -> str | None:
+    """Why *value* would break the process backend, or ``None``."""
+    qualname = getattr(value, "__qualname__", "")
+    if "<locals>" in qualname:
+        return (
+            f"defined inside a function body ({qualname}); the process "
+            f"backend pickles jobs by reference and cannot import it"
+        )
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        return f"not picklable: {exc}"
+    return None
+
+
+def _dut_factories(dut):
+    yield "ecu_factory", dut.ecu_factory
+    yield "harness_factory", dut.harness_factory
+    yield "signals_factory", dut.signals_factory
+    if dut.faults_factory is not None:
+        yield "faults_factory", dut.faults_factory
+    if dut.suite_factory is not None:
+        yield "suite_factory", dut.suite_factory
+
+
+def check_unpicklable_factory(context: LintContext, rule: LintRule):
+    """Registered factories the process backend could not ship to workers."""
+    for dut in context.duts:
+        for name, factory in _dut_factories(dut):
+            problem = _pickle_problem(factory)
+            if problem is None:
+                continue
+            yield rule.finding(
+                f"factory:{name}",
+                f"registered {name} would break the process executor "
+                f"backend: {problem}",
+                hint="move the factory to module level (a def or "
+                     "functools.partial of one)",
+                dut=dut.name,
+            )
+        catalogue = context.catalogue(dut)
+        if catalogue is None:
+            continue
+        for fault in catalogue:
+            problem = _pickle_problem(fault.factory)
+            if problem is None:
+                continue
+            yield rule.finding(
+                f"fault:{fault.name}",
+                f"fault factory would break the process executor backend: "
+                f"{problem}",
+                hint="define the faulty ECU as a module-level class",
+                dut=dut.name,
+            )
+    for stand in context.stands:
+        problem = _pickle_problem(stand.builder)
+        if problem is None:
+            continue
+        yield rule.finding(
+            f"stand:{stand.name} builder",
+            f"stand builder would break the process executor backend: "
+            f"{problem}",
+            hint="register a module-level builder function",
+        )
+
+
+# ---------------------------------------------------------------------------
+# X-BLOCKING-EXECUTE-IN-ASYNC
+# ---------------------------------------------------------------------------
+
+class _AsyncExecuteVisitor(ast.NodeVisitor):
+    """Find ``.execute(`` attribute calls lexically inside ``async def``.
+
+    A stack of function kinds keeps nested *sync* helpers defined inside an
+    async function from being flagged: only calls whose innermost enclosing
+    function is async block the event loop.
+    """
+
+    def __init__(self):
+        self.stack: list[bool] = []
+        self.calls: list[tuple[int, str]] = []
+
+    def visit_FunctionDef(self, node):
+        self.stack.append(False)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_AsyncFunctionDef(self, node):
+        self.stack.append(True)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_Call(self, node):
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "execute"
+                and self.stack and self.stack[-1]):
+            self.calls.append((node.lineno, ast.unparse(func)))
+        self.generic_visit(node)
+
+
+def blocking_execute_calls(source: str) -> tuple[tuple[int, str], ...]:
+    """``(lineno, call)`` for blocking ``.execute(`` calls in async defs.
+
+    Exposed for test fixtures; the rule applies it to the interpreter,
+    executor and instrument-base sources.
+    """
+    visitor = _AsyncExecuteVisitor()
+    visitor.visit(ast.parse(textwrap.dedent(source)))
+    return tuple(visitor.calls)
+
+
+def check_blocking_execute(context: LintContext, rule: LintRule):
+    """Blocking instrument calls reachable from the async run path."""
+    from ..instruments import base as instruments_base
+    from ..teststand import executor, interpreter
+
+    for module in (interpreter, executor, instruments_base):
+        try:
+            source = inspect.getsource(module)
+        except Exception:
+            continue
+        for lineno, call in blocking_execute_calls(source):
+            yield rule.finding(
+                f"module:{module.__name__} line:{lineno}",
+                f"async function calls blocking {call}(...); on the async "
+                f"backend this stalls the event loop for the instrument's "
+                f"full settle time",
+                hint="await the instrument's aexecute() instead",
+            )
+
+
+# ---------------------------------------------------------------------------
+# X-UNSTABLE-FINGERPRINT
+# ---------------------------------------------------------------------------
+
+def check_unstable_fingerprint(context: LintContext, rule: LintRule):
+    """Fingerprints that change across rebuilds poison the plan cache.
+
+    The plan cache keys on (script, stand, registry) *content*
+    fingerprints.  A stand builder or suite factory that produces different
+    content on every call - a timestamp in a variable, a random resource
+    ordering - makes every campaign run recompile all plans and silently
+    grow the cache.  Building twice and comparing is the cheapest honest
+    check.
+    """
+    for stand in context.stands:
+        try:
+            first, second = stand.builder(), stand.builder()
+        except Exception:
+            continue  # registration already reports broken builders
+        try:
+            stable = stand_fingerprint(first) == stand_fingerprint(second)
+        except Exception:
+            continue
+        if stable:
+            continue
+        yield rule.finding(
+            f"stand:{stand.name}",
+            f"two builds of the stand produce different content "
+            f"fingerprints; every execution plan cache lookup misses",
+            hint="make the builder deterministic (stable resource order, "
+                 "no per-build timestamps in variables)",
+        )
+    for dut in context.duts:
+        if dut.suite_factory is None:
+            continue
+        try:
+            suites = (dut.suite_factory(), dut.suite_factory())
+            signal_sets = (dut.signals_factory(), dut.signals_factory())
+            compiled = [
+                {
+                    script.name: script_fingerprint(script, signals)
+                    for script in Compiler(
+                        registry=context.registry).compile_suite(suite)
+                }
+                for suite, signals in zip(suites, signal_sets)
+            ]
+        except Exception:
+            continue
+        for name, fingerprint in compiled[0].items():
+            other = compiled[1].get(name)
+            if other is None or fingerprint == other:
+                continue
+            yield rule.finding(
+                f"sheet:{name}",
+                f"two compilations of the sheet produce different script "
+                f"fingerprints; its execution plans can never be reused "
+                f"from the cache",
+                hint="make the suite factory deterministic (stable step "
+                     "and parameter ordering)",
+                dut=dut.name,
+            )
+
+
+RULES = (
+    LintRule(
+        "X-UNPICKLABLE-FACTORY", ERROR,
+        "a registered factory would break the process executor backend",
+        check_unpicklable_factory,
+    ),
+    LintRule(
+        "X-BLOCKING-EXECUTE-IN-ASYNC", WARNING,
+        "a blocking execute() call is reachable from the async run path",
+        check_blocking_execute,
+    ),
+    LintRule(
+        "X-UNSTABLE-FINGERPRINT", WARNING,
+        "rebuilding a stand or suite changes its plan-cache fingerprint",
+        check_unstable_fingerprint,
+    ),
+)

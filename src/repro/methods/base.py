@@ -299,6 +299,13 @@ def limits_from_params(
     """Build the acceptance interval from ``<attr>_min`` / ``<attr>_max``.
 
     Missing bounds default to minus/plus infinity so one-sided checks work.
+    Inverted bounds are *normalised* (swapped) rather than rejected:
+    :class:`~repro.core.values.Interval` refuses empty intervals at
+    construction, and run-time limits may legitimately invert when a
+    relative expression is scaled by a negative variable value.  Inverted
+    bounds written directly into a sheet are an authoring error; the static
+    analyzer's E-EMPTY-INTERVAL rule (:mod:`repro.lint`) reports those at
+    lint time, where the swap here would otherwise mask them.
     """
     low = evaluate_parameter(params, f"{attribute}_min", variables, default=float("-inf"))
     high = evaluate_parameter(params, f"{attribute}_max", variables, default=float("inf"))

@@ -125,8 +125,10 @@ __all__ = [
     "stand_factories_for",
     "default_stand_for",
     "method_coverage",
+    "unresolved_signal_message",
     "derive_signal_set",
     "signal_set_for_script",
+    "PREFLIGHT_MODES",
     "RunSpec",
     "run_single",
     "CampaignSpec",
@@ -581,6 +583,23 @@ class SignalDerivationWarning(UserWarning):
     """
 
 
+def unresolved_signal_message(signal: str, owner: str, dut: str) -> str:
+    """The canonical "signal does not resolve" diagnostic text.
+
+    Single source of truth for the condition that a signal name maps to
+    neither a DUT pin nor a CAN message: :func:`derive_signal_set` reports
+    it as a run-time :class:`SignalDerivationWarning`, and the static
+    analyzer's ``E-UNRESOLVED-SIGNAL`` rule (:mod:`repro.lint`) reports the
+    same condition at lint time.  *owner* names the artefact the signal
+    belongs to (e.g. ``"script 'lights_on'"`` or ``"the registered signal
+    set"``); callers append their own consequence clause.
+    """
+    return (
+        f"signal {signal!r} of {owner} resolves to "
+        f"neither a pin of DUT {dut!r} nor a CAN message"
+    )
+
+
 def _warn_default(message: str) -> None:
     # Frames above warnings.warn: _warn_default (1), derive_signal_set's
     # _report closure (2), derive_signal_set (3), its caller (4) - attribute
@@ -664,9 +683,9 @@ def derive_signal_set(
                 message = None
         if message is None:
             _report(
-                f"signal {name!r} of script {script.name!r} resolves to "
-                f"neither a pin of DUT {ecu.name!r} nor a CAN message; "
-                "dropped from the derived signal set"
+                unresolved_signal_message(name, f"script {script.name!r}",
+                                          ecu.name)
+                + "; dropped from the derived signal set"
             )
             continue
         direction = usage.get(str(name).lower(), SignalDirection.INPUT)
@@ -689,6 +708,28 @@ def signal_set_for_script(script: TestScript, target: DutTarget,
 # Declarative single runs
 # ---------------------------------------------------------------------------
 
+#: Pre-flight checks a spec may request before anything is built:
+#: ``"coverage"`` (default) is the stand capability negotiation alone,
+#: ``"lint"`` additionally runs the whole static analyzer (:mod:`repro.lint`)
+#: over the target and refuses to execute when any error-severity finding
+#: exists.
+PREFLIGHT_MODES = ("coverage", "lint")
+
+
+def _check_preflight(mode: str) -> None:
+    if mode not in PREFLIGHT_MODES:
+        raise ConfigurationError(
+            f"preflight must be one of {', '.join(PREFLIGHT_MODES)}, "
+            f"got {mode!r}"
+        )
+
+
+def _run_lint_preflight(dut: str) -> None:
+    # Imported lazily: repro.lint imports this module for the registry.
+    from .lint import preflight_lint
+    preflight_lint(dut)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """Declarative description of one script execution.
@@ -697,6 +738,9 @@ class RunSpec:
     path of an XML script file.  ``dut`` defaults to the script's own DUT
     name; ``signals`` overrides the registered signal set; ``stand=None``
     picks a stand carrying the DUT's adapter (:func:`default_stand_for`).
+    ``preflight`` selects the pre-flight depth (:data:`PREFLIGHT_MODES`):
+    ``"lint"`` runs the static analyzer over the target first and raises
+    :class:`~repro.lint.LintError` on error-severity findings.
     """
 
     script: TestScript | str
@@ -705,6 +749,10 @@ class RunSpec:
     dut: str | None = None
     signals: SignalSet | None = None
     stop_on_error: bool = False
+    preflight: str = "coverage"
+
+    def __post_init__(self) -> None:
+        _check_preflight(self.preflight)
 
 
 def run_single(spec: RunSpec) -> TestResult:
@@ -724,6 +772,8 @@ def run_single(spec: RunSpec) -> TestResult:
     # built when the stand cannot serve a method the script needs.
     _require_method_coverage(stand_target, script.methods_used(),
                              dut=target.name)
+    if spec.preflight == "lint":
+        _run_lint_preflight(target.name)
     stand = stand_factory()
     harness = target.build_harness()
     signals = spec.signals if spec.signals is not None \
@@ -767,6 +817,11 @@ class CampaignSpec:
     paths (cached execution plans, per-worker stand pools).  Both default
     on and never change the verdict table; turning one off exists for A/B
     wall-clock comparisons like ``tools/bench_trajectory.py``.
+
+    ``preflight`` selects the pre-flight depth (:data:`PREFLIGHT_MODES`):
+    ``"lint"`` runs the static analyzer over the target before any job is
+    built and raises :class:`~repro.lint.LintError` on error-severity
+    findings.
     """
 
     dut: str | None = None
@@ -781,8 +836,10 @@ class CampaignSpec:
     retries: int = 1
     use_plans: bool = True
     reuse_stands: bool = True
+    preflight: str = "coverage"
 
     def __post_init__(self) -> None:
+        _check_preflight(self.preflight)
         faults = self.faults
         if faults is None:
             faults = ()
@@ -877,6 +934,8 @@ def build_campaign(spec: CampaignSpec, *,
         sorted({method for script in scripts for method in script.methods_used()}),
         dut=target.name,
     )
+    if spec.preflight == "lint":
+        _run_lint_preflight(target.name)
     if executor is None:
         executor = make_executor(spec.backend, spec.jobs,
                                  concurrency=spec.concurrency)

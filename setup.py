@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.5.0",
+    version="1.6.0",
     description="Reproduction of 'A New Approach to Component Testing' "
                 "(Brinkmeyer, DATE 2005)",
     package_dir={"": "src"},
@@ -21,6 +21,7 @@ setup(
             "repro-report=repro.cli:main_report",
             "repro-campaign=repro.cli:main_campaign",
             "repro-lint=repro.lint.cli:main",
+            "repro-serve=repro.service.cli:main_serve",
         ],
     },
 )

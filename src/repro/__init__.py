@@ -49,10 +49,21 @@ together per device under test:
     ECUs (interior light, central locking, window lifter, wiper, exterior
     light) are registered with fault catalogues, so
     ``repro-campaign --dut <name>`` covers the whole family.
+``repro.store``
+    the persistent result store: execution reports and campaign results
+    recorded into a normalized stdlib-``sqlite3`` database
+    (``repro-campaign --store``, ``CampaignSpec(store=...)``), queryable
+    and diffable, re-rendering verdict tables byte-identically.
+``repro.service``
+    campaign-as-a-service: a worker-thread job queue over the registry
+    (``CampaignService``), a WSGI JSON API (``repro-serve``) and a static
+    HTML report generator - not imported here so the base import stays
+    light; ``import repro.service`` explicitly.
 """
 
 from . import analysis, can, core, dut, instruments, methods, paper, sheets, teststand
 from . import targets
+from . import store
 from .core import (
     Compiler,
     CompileOptions,
@@ -95,12 +106,12 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
     "core", "sheets", "methods", "teststand", "instruments", "dut", "can",
-    "analysis", "paper", "targets",
+    "analysis", "paper", "targets", "store",
     "Signal", "SignalDirection", "SignalKind", "SignalSet",
     "StatusDefinition", "StatusTable", "TestDefinition", "TestSuite", "TestScript",
     "Compiler", "CompileOptions", "compile_test", "compile_suite",

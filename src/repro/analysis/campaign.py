@@ -62,6 +62,12 @@ class FaultRunOutcome:
 class CampaignResult:
     """Aggregate of a fault-injection campaign."""
 
+    #: Run id assigned by the persistent result store when this result was
+    #: recorded (``CampaignSpec(store=...)`` / ``repro-campaign --store``);
+    #: ``None`` for unrecorded results.  Set by
+    #: :func:`repro.targets.run_campaign`, read by the CLI and the service.
+    store_run_id: int | None = None
+
     def __init__(
         self,
         baseline: tuple[TestResult, ...],

@@ -11,7 +11,10 @@ over the public target registry in :mod:`repro.targets`:
     against the matching registered DUT and print the report,
 ``repro-report <script.xml>``
     print a static summary of a script (signals, methods, duration) without
-    executing it,
+    executing it; with ``--store PATH`` it reads the persistent result
+    store instead (``--list`` runs, ``--run ID`` byte-identical re-render,
+    ``--diff A B`` per-sheet verdict deltas, ``--html DIR`` static report
+    site),
 ``repro-campaign [<workbook dir>] [--dut NAME] [--stand NAME] [--jobs N]``
     run a fault-injection campaign for a DUT across a configurable worker
     pool, either from a compiled CSV workbook or - with ``--dut`` - from the
@@ -21,9 +24,12 @@ over the public target registry in :mod:`repro.targets`:
     ``--list-targets`` prints every registered DUT and stand.
     ``--profile`` adds a per-phase timing breakdown (job expansion /
     allocation / instrument I/O / aggregation, plan-cache hit rate) on
-    stderr.  The verdict tables on stdout are byte-identical for any
-    ``--jobs`` / ``--backend`` / ``--concurrency`` combination; timing
-    goes to stderr.
+    stderr.  ``--store PATH`` records the finished campaign into the
+    persistent result store (see :mod:`repro.store`), ``--format json``
+    emits a JSON document (rendered table + full execution report) instead
+    of the text table.  The verdict tables on stdout are byte-identical
+    for any ``--jobs`` / ``--backend`` / ``--concurrency`` combination;
+    timing goes to stderr.
 
 Exit codes distinguish verdicts from infrastructure problems so CI
 consumers can tell DUT regressions from broken setups:
@@ -342,8 +348,22 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--retries", type=int, default=1, metavar="N",
                         help="extra attempts per job after a transient error "
                              "(default: 1; 0 disables retrying)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="record the finished campaign into the "
+                             "persistent result store at PATH (sqlite; "
+                             "created on first use); the assigned run id "
+                             "is reported on stderr and the stored run "
+                             "re-renders this stdout byte-identically via "
+                             "repro-report --store PATH --run ID")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format: the default text verdict "
+                             "table, or a single JSON document carrying "
+                             "the rendered table/summary plus the full "
+                             "schema-versioned execution report "
+                             "(ExecutionReport.to_dict)")
     parser.add_argument("--quiet", action="store_true",
-                        help="print only the campaign summary line")
+                        help="print only the campaign summary line "
+                             "(text format)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown (job "
                              "expansion / allocation / instrument I/O / "
@@ -374,6 +394,7 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             concurrency=args.concurrency,
             retries=args.retries,
+            store=args.store,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -393,9 +414,26 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
         print(f"error: campaign failed: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
-    if not args.quiet:
-        print(rendered.get("table") or result.table())
-    print(rendered.get("summary") or result.summary())
+    if args.format == "json":
+        import json as _json
+
+        document = {
+            "kind": "campaign-result",
+            "dut": args.dut,
+            "table": rendered.get("table") or result.table(),
+            "summary": rendered.get("summary") or result.summary(),
+            "store_run_id": result.store_run_id,
+            "execution": result.execution.to_dict()
+            if result.execution is not None else None,
+        }
+        print(_json.dumps(document, indent=2))
+    else:
+        if not args.quiet:
+            print(rendered.get("table") or result.table())
+        print(rendered.get("summary") or result.summary())
+    if result.store_run_id is not None:
+        print(f"recorded as run {result.store_run_id} in {args.store}",
+              file=sys.stderr)
     if result.execution is not None:
         # Timing is scheduling-dependent, so it goes to stderr: stdout stays
         # byte-identical across --jobs / --backend choices.
@@ -423,19 +461,137 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     return 0 if result.baseline_clean and not missed else 1
 
 
-def main_report(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-report``: static summary of an XML script.
+def _report_from_store(args, parser: argparse.ArgumentParser) -> int:
+    """The ``repro-report --store`` modes: list / re-render / diff / html."""
+    import json as _json
+    from datetime import datetime, timezone
 
-    Prints the script's DUT, step/action counts, simulated duration and the
-    signals, methods and stand variables it uses - without executing
-    anything.  Returns 0, or 2 when the script cannot be read.
+    from .store import ResultStore, StoreError
+    from .teststand.report import format_table
+
+    modes = [args.list, args.run is not None, args.diff is not None,
+             args.html is not None]
+    if sum(1 for mode in modes if mode) != 1:
+        parser.error("--store needs exactly one of --list, --run ID, "
+                     "--diff A B or --html DIR")
+    try:
+        store = ResultStore(args.store)
+        if args.list:
+            runs = store.list_runs()
+            if args.format == "json":
+                print(_json.dumps([
+                    {
+                        "run": info.run_id, "created_at": info.created_at,
+                        "dut": info.dut, "stand": info.stand,
+                        "backend": info.backend, "workers": info.workers,
+                        "jobs": info.jobs, "verdict": info.verdict,
+                        "wall_time": info.wall_time, "git_sha": info.git_sha,
+                        "repro_version": info.repro_version,
+                    }
+                    for info in runs
+                ], indent=2))
+            else:
+                header = ("run", "recorded (UTC)", "dut", "backend", "jobs",
+                          "verdict", "version", "git")
+                rows = [
+                    (str(info.run_id),
+                     datetime.fromtimestamp(info.created_at, timezone.utc)
+                     .strftime("%Y-%m-%d %H:%M:%S"),
+                     info.dut or "-", info.backend, str(info.jobs),
+                     info.verdict.upper(), info.repro_version,
+                     info.git_sha[:12] or "-")
+                    for info in runs
+                ]
+                print(format_table(header, rows))
+            return 0
+        if args.run is not None:
+            run = store.get_run(args.run)
+            if args.format == "json":
+                print(_json.dumps(run.execution_report().to_dict(), indent=2))
+            else:
+                # Byte-identical to the repro-campaign stdout that produced
+                # the run: fault table + campaign summary line.
+                print(run.render())
+            return 0
+        if args.diff is not None:
+            diff = store.diff_runs(args.diff[0], args.diff[1])
+            if args.format == "json":
+                print(_json.dumps({
+                    "run_a": diff.run_a, "run_b": diff.run_b,
+                    "empty": diff.empty,
+                    "changed": [
+                        {"job": d.job, "verdict_a": d.verdict_a,
+                         "verdict_b": d.verdict_b}
+                        for d in diff.changed
+                    ],
+                    "only_a": list(diff.only_a),
+                    "only_b": list(diff.only_b),
+                }, indent=2))
+            else:
+                print(diff.table())
+                print(diff.summary())
+            return 0 if diff.empty else 1
+        from .service.reportgen import generate_site
+        written = generate_site(store, args.html)
+        print(f"wrote {len(written)} page(s) to {args.html}")
+        return 0
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as exc:
+        print(f"error: cannot use store {args.store!r}: {exc}",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+
+def main_report(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-report``: script summaries and stored runs.
+
+    Without ``--store`` it prints a static summary of an XML script (DUT,
+    step/action counts, simulated duration, signals / methods / variables)
+    without executing anything.  With ``--store PATH`` it reads the
+    persistent result store instead: ``--list`` the recorded runs,
+    ``--run ID`` re-renders one run's fault table byte-identically to the
+    ``repro-campaign`` stdout that produced it (``--format json`` emits the
+    full schema-versioned execution report), ``--diff A B`` prints per-sheet
+    verdict deltas (exit 1 when the runs differ), and ``--html DIR``
+    generates the static HTML report site.  Returns 0, 1 for a non-empty
+    diff, 2 for unreadable scripts or store problems.
     """
     parser = argparse.ArgumentParser(
         prog="repro-report",
-        description="Summarise an XML test script without executing it.",
+        description="Summarise an XML test script, or list / re-render / "
+                    "diff / export runs from a persistent result store.",
     )
-    parser.add_argument("script", help="path of the XML test script")
+    parser.add_argument("script", nargs="?", default=None,
+                        help="path of the XML test script (omit when using "
+                             "--store)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="read the persistent result store at PATH "
+                             "instead of a script")
+    parser.add_argument("--list", action="store_true",
+                        help="with --store: list the recorded runs")
+    parser.add_argument("--run", type=int, default=None, metavar="ID",
+                        help="with --store: re-render the stored run "
+                             "(byte-identical to the producing "
+                             "repro-campaign stdout)")
+    parser.add_argument("--diff", nargs=2, type=int, default=None,
+                        metavar=("A", "B"),
+                        help="with --store: per-sheet verdict deltas "
+                             "between two runs (exit 1 when not empty)")
+    parser.add_argument("--html", default=None, metavar="DIR",
+                        help="with --store: generate the static HTML "
+                             "report site into DIR")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format for --list / --run / --diff")
     args = parser.parse_args(argv)
+
+    if args.store is not None:
+        if args.script is not None:
+            parser.error("--store cannot be combined with a script path")
+        return _report_from_store(args, parser)
+    if args.script is None:
+        parser.error("a script path or --store PATH is required")
 
     try:
         script = read_script(args.script)

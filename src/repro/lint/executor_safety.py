@@ -4,7 +4,9 @@ The async and process executor backends impose contracts no type checker
 enforces: campaign jobs must pickle (process backend), ``arun()`` paths
 must never call a blocking ``execute`` (async backend), and the plan cache
 is only correct when fingerprints are stable across rebuilds of the same
-stand or script.  These rules verify all three statically.
+stand or script.  The persistent result store adds a fourth: names that
+only differ in case merge silently under its case-insensitive queries.
+These rules verify all four statically.
 """
 
 from __future__ import annotations
@@ -220,6 +222,76 @@ def check_unstable_fingerprint(context: LintContext, rule: LintRule):
             )
 
 
+# ---------------------------------------------------------------------------
+# X-UNSTORABLE-RESULT
+# ---------------------------------------------------------------------------
+
+def check_unstorable_result(context: LintContext, rule: LintRule):
+    """Names that would silently merge rows in the persistent result store.
+
+    The result store (:mod:`repro.store`) and the campaign machinery match
+    names case-insensitively: ``ResultStore.query`` compares DUT, stand and
+    group names with ``LOWER(...)``, and run-vs-run diffs key rows on the
+    ``group/sheet`` job id.  Two registered sheets or two campaign groups
+    whose names differ only in case therefore land in the *same* query
+    bucket - their stored verdicts merge without any error.  The built-in
+    :class:`~repro.core.suite.TestSuite` and
+    :class:`~repro.analysis.faults.FaultCatalogue` already reject such
+    duplicates at registration, so in practice this fires for duck-typed
+    suite factories and for a fault model named ``"Baseline"``, which
+    collides with the implicit healthy-ECU campaign group.
+    """
+    from ..analysis.campaign import BASELINE_GROUP
+
+    for dut in context.duts:
+        seen_sheets: dict[str, str] = {}
+        for script in context.scripts(dut):
+            key = script.name.strip().lower()
+            other = seen_sheets.setdefault(key, script.name)
+            if other == script.name:
+                continue
+            yield rule.finding(
+                f"sheet:{script.name}",
+                f"sheet name collides case-insensitively with sheet "
+                f"{other!r}; the result store matches names "
+                f"case-insensitively, so their stored verdict rows merge "
+                f"silently",
+                hint="rename one of the sheets so the names differ by more "
+                     "than case",
+                dut=dut.name,
+            )
+        catalogue = context.catalogue(dut)
+        if catalogue is None:
+            continue
+        groups: dict[str, str] = {BASELINE_GROUP.lower(): BASELINE_GROUP}
+        for fault in catalogue:
+            key = fault.name.strip().lower()
+            other = groups.setdefault(key, fault.name)
+            if other == fault.name:
+                continue
+            if other == BASELINE_GROUP:
+                message = (
+                    f"fault-model name collides case-insensitively with the "
+                    f"implicit {BASELINE_GROUP!r} campaign group; its stored "
+                    f"rows merge with the healthy-ECU baseline in store "
+                    f"queries and run diffs"
+                )
+                hint = "rename the fault model (the baseline group name " \
+                       "is reserved)"
+            else:
+                message = (
+                    f"fault-model name collides case-insensitively with "
+                    f"fault {other!r}; the result store matches group names "
+                    f"case-insensitively, so their stored verdict rows "
+                    f"merge silently"
+                )
+                hint = "rename one of the fault models so the names " \
+                       "differ by more than case"
+            yield rule.finding(
+                f"fault:{fault.name}", message, hint=hint, dut=dut.name,
+            )
+
+
 RULES = (
     LintRule(
         "X-UNPICKLABLE-FACTORY", ERROR,
@@ -235,5 +307,11 @@ RULES = (
         "X-UNSTABLE-FINGERPRINT", WARNING,
         "rebuilding a stand or suite changes its plan-cache fingerprint",
         check_unstable_fingerprint,
+    ),
+    LintRule(
+        "X-UNSTORABLE-RESULT", WARNING,
+        "sheet or fault-group names collide case-insensitively and would "
+        "merge rows in the result store",
+        check_unstorable_result,
     ),
 )

@@ -1,0 +1,39 @@
+"""Campaign-as-a-service: job queue, JSON API and HTML report generator.
+
+The service layer turns the declarative campaign API
+(:class:`~repro.targets.CampaignSpec` / :func:`~repro.targets.run_campaign`)
+into a long-running facility backed by the persistent result store
+(:mod:`repro.store`):
+
+:class:`CampaignService` (:mod:`repro.service.queue`)
+    accepts specs, executes them one at a time on a worker thread through
+    the ordinary executor backends, records every finished campaign, and
+    tracks per-job states (queued / running / done / failed).
+:class:`CampaignApp` (:mod:`repro.service.api`)
+    a thin WSGI JSON API over the service - ``POST /campaigns``,
+    ``GET /campaigns/<id>``, ``GET /runs/<id>/report``, ``GET /targets`` -
+    served by the ``repro-serve`` console script
+    (:mod:`repro.service.cli`).
+:func:`generate_site` (:mod:`repro.service.reportgen`)
+    static HTML rendering of the store: run index, per-run fault table +
+    detection-coverage matrix, run-vs-run diff pages
+    (``repro-report --store PATH --html DIR``).
+
+Kept out of the top-level ``repro`` import on purpose: ``import
+repro.service`` explicitly when you need it.
+"""
+
+from .api import CampaignApp, SPEC_FIELDS
+from .queue import JOB_STATES, CampaignService, ServiceError
+from .reportgen import generate_site, write_diff_page, write_run_page
+
+__all__ = [
+    "JOB_STATES",
+    "ServiceError",
+    "CampaignService",
+    "CampaignApp",
+    "SPEC_FIELDS",
+    "generate_site",
+    "write_run_page",
+    "write_diff_page",
+]

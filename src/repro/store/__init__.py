@@ -1,0 +1,46 @@
+"""Persistent result store: campaigns and reports as a SQLite database.
+
+The executor's :class:`~repro.teststand.executor.ExecutionReport` is a
+process-local object; this package makes it durable.  A
+:class:`ResultStore` records reports (and whole campaign results, with
+their fault-catalogue metadata) into a normalized stdlib-:mod:`sqlite3`
+schema (:mod:`repro.store.schema`), stamped with the producing process's
+git SHA and ``repro.__version__``, and reads them back as live objects
+that re-render **byte-identically**:
+
+>>> store = ResultStore("results.db")
+>>> run_id = store.record_campaign(result, spec)     # or: spec.store=...
+>>> store.get_run(run_id).render()                   # the exact CLI stdout
+>>> store.diff_runs(run_id, other).empty             # per-sheet deltas
+>>> store.query(dut="wiper_ecu", verdict="fail")     # SQL-backed history
+
+Every front end records through the same path: ``repro-campaign --store``,
+``CampaignSpec(store=...)`` and the campaign service
+(:mod:`repro.service`) all call :meth:`ResultStore.record_campaign`;
+``repro-report --store`` and the service's report endpoints read back.
+"""
+
+from .schema import DDL, STORE_SCHEMA
+from .store import (
+    CaseRow,
+    ResultStore,
+    RunDiff,
+    RunInfo,
+    StoredRun,
+    StoreError,
+    VerdictDelta,
+    current_git_sha,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "DDL",
+    "StoreError",
+    "ResultStore",
+    "StoredRun",
+    "RunInfo",
+    "CaseRow",
+    "VerdictDelta",
+    "RunDiff",
+    "current_git_sha",
+]

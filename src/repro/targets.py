@@ -822,6 +822,15 @@ class CampaignSpec:
     ``"lint"`` runs the static analyzer over the target before any job is
     built and raises :class:`~repro.lint.LintError` on error-severity
     findings.
+
+    ``store`` is the path of a persistent result store
+    (:class:`repro.store.ResultStore`): when set, :func:`run_campaign`
+    records the finished campaign - execution report, fault-catalogue
+    metadata, git SHA and ``repro.__version__`` - and publishes the
+    assigned run id as
+    :attr:`~repro.analysis.campaign.CampaignResult.store_run_id`.
+    Recording never changes the verdict table; the stored run re-renders
+    it byte-identically (``repro-report --store PATH --run ID``).
     """
 
     dut: str | None = None
@@ -837,6 +846,7 @@ class CampaignSpec:
     use_plans: bool = True
     reuse_stands: bool = True
     preflight: str = "coverage"
+    store: str | None = None
 
     def __post_init__(self) -> None:
         _check_preflight(self.preflight)
@@ -962,10 +972,19 @@ def run_campaign(spec: CampaignSpec, *,
     """Expand a :class:`CampaignSpec` through the registry and execute it.
 
     An explicit *executor* overrides the spec's ``backend`` / ``jobs`` /
-    ``concurrency``.
+    ``concurrency``.  With ``spec.store`` set, the finished campaign is
+    recorded into that result store and the returned result carries the
+    assigned :attr:`~repro.analysis.campaign.CampaignResult.store_run_id`.
     """
     campaign, faults = build_campaign(spec, executor=executor)
-    return campaign.run(faults)
+    result = campaign.run(faults)
+    if spec.store:
+        # Imported lazily: the registry must not pay the store's sqlite
+        # setup cost (nor create files) unless a spec actually records.
+        from .store import ResultStore
+        result.store_run_id = ResultStore(spec.store).record_campaign(
+            result, spec)
+    return result
 
 
 # ---------------------------------------------------------------------------

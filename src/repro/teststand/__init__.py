@@ -52,6 +52,15 @@ from .plan import (
 from .profiling import PROFILER, PhaseProfiler
 from .report import campaign_summary, format_table, json_report, summary_line, text_report
 from .resources import Resource, ResourceTable
+from .serialize import (
+    REPORT_SCHEMA,
+    report_from_dict,
+    report_to_dict,
+    result_from_dict,
+    result_to_dict,
+    script_from_dict,
+    script_to_dict,
+)
 from .stands import (
     PAPER_PINS,
     TestStand,
@@ -114,4 +123,11 @@ __all__ = [
     "json_report",
     "summary_line",
     "campaign_summary",
+    "REPORT_SCHEMA",
+    "report_to_dict",
+    "report_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "script_to_dict",
+    "script_from_dict",
 ]

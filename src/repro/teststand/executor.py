@@ -667,6 +667,28 @@ class ExecutionReport:
             parts.append(f"all {next(iter(verdicts))}")
         return "; ".join(parts)
 
+    def to_dict(self) -> dict:
+        """Durable dict representation (see :mod:`repro.teststand.serialize`).
+
+        JSON-safe, stable key order, stamped with a schema version;
+        scripts are deduplicated by content.  The result store
+        (:mod:`repro.store`), the campaign service API and ``repro-campaign
+        --format json`` all persist exactly this document.
+        """
+        from .serialize import report_to_dict
+        return report_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutionReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The restored report renders byte-identically (``verdict_table()``,
+        ``summary()``, ``by_group()``) but is a record, not a runnable
+        batch: its jobs carry placeholder factories that raise when called.
+        """
+        from .serialize import report_from_dict
+        return report_from_dict(data)
+
 
 def run_jobs(
     jobs: Iterable[Job],

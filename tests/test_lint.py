@@ -181,6 +181,42 @@ def isolating_suite():
     )
 
 
+class _CaseCollidingSuite:
+    """Duck-typed suite with two sheets whose names differ only in case.
+
+    ``TestSuite`` itself rejects case-insensitive duplicates at
+    construction - which is exactly why X-UNSTORABLE-RESULT exists for
+    duck-typed factories like this one.
+    """
+
+    def __init__(self):
+        base = _toy_suite((), [(0.5, {"DS_FL": "Open", "INT_ILL": "Lo"})])
+        self.dut = base.dut
+        self.signals = base.signals
+        self.statuses = base.statuses
+        self._tests = []
+        for name in ("Toy_Sheet", "toy_sheet"):
+            test = TestDefinition(name)
+            test.add_step(0.5, {"DS_FL": "Open", "INT_ILL": "Lo"})
+            self._tests.append(test)
+
+    def __iter__(self):
+        return iter(self._tests)
+
+
+def case_colliding_suite():
+    return _CaseCollidingSuite()
+
+
+def baseline_named_catalogue():
+    """A fault model whose name collides with the implicit healthy group."""
+    return FaultCatalogue(
+        "interior_light_ecu",
+        (FaultModel("Baseline", "collides with the healthy-ECU group",
+                    InteriorLightEcu, expected_detected=True),),
+    )
+
+
 def _register_toy(name, **overrides):
     fields = dict(
         name=name,
@@ -383,6 +419,28 @@ def test_family_x_negative_on_bundled_tree():
     # its arun() path uses aexecute() - neither may be flagged
     report = run_lint(rules=[r.id for r in ALL_RULES if r.id.startswith("X-")])
     assert report.findings == ()
+
+
+def test_unstorable_sheet_case_collision_warns(toy_dut):
+    toy_dut("toy_casefold", suite_factory=case_colliding_suite)
+    report = run_lint(duts=["toy_casefold"], rules=["X-UNSTORABLE-RESULT"])
+    findings = _findings(report, "X-UNSTORABLE-RESULT")
+    assert len(findings) == 1
+    assert findings[0].location == "sheet:toy_sheet"
+    assert "Toy_Sheet" in findings[0].message
+    assert "merge" in findings[0].message
+    assert report.exit_code == 1
+
+
+def test_unstorable_baseline_fault_collision_warns(toy_dut):
+    toy_dut("toy_baseline_clash", faults_factory=baseline_named_catalogue)
+    report = run_lint(duts=["toy_baseline_clash"],
+                      rules=["X-UNSTORABLE-RESULT"])
+    findings = _findings(report, "X-UNSTORABLE-RESULT")
+    assert len(findings) == 1
+    assert findings[0].location == "fault:Baseline"
+    assert "'baseline'" in findings[0].message
+    assert report.exit_code == 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf trajectory harness: run the executor benchmarks, write BENCH_executor.json.
+"""Perf trajectory harness: run the executor benchmarks, append to BENCH_executor.json.
 
 Every PR that touches the execution hot path should leave a data point
 behind.  This tool runs quick variants of the repository's four
@@ -14,12 +14,15 @@ executor-economics benchmarks -
 * **async_stands** (A4): one script on N latency-simulated stands, serial
   vs. one async worker -
 
-and writes the wall clocks, speedup ratios and plan-cache statistics to
-``BENCH_executor.json`` (schema below).  CI runs ``--quick`` on every push,
-uploads the file as an artifact and **fails when the plan-cached serial
-path is not faster than the uncached one** - the one regression this file
-exists to catch.  Compare the JSON against the previous commit's artifact
-to read the trajectory.
+and **appends** the wall clocks, speedup ratios and plan-cache statistics
+as one trajectory point - keyed by git SHA + measurement timestamp - to
+``BENCH_executor.json``.  The file accumulates the perf history across
+commits (schema 2: ``{"schema", "benchmark", "latest", "trajectory"}``,
+newest point last and mirrored under ``latest``; a legacy schema-1
+single-point file is migrated in place).  CI runs ``--quick`` on every
+push, uploads the file as an artifact and **fails when the plan-cached
+serial path is not faster than the uncached one** - the one regression
+this file exists to catch.
 
 Usage::
 
@@ -43,6 +46,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import Compiler                                   # noqa: E402
+from repro.store import current_git_sha                           # noqa: E402
 from repro.dut import InteriorLightEcu                            # noqa: E402
 from repro.paper import interior_harness, paper_signal_set, paper_suite  # noqa: E402
 from repro.targets import (                                       # noqa: E402
@@ -62,8 +66,34 @@ from repro.teststand import (                                     # noqa: E402
 )
 from repro.teststand.stands import build_big_rack, build_minimal_bench  # noqa: E402
 
-#: Schema version of the emitted JSON.
-SCHEMA = 1
+#: Schema version of the emitted JSON file (2 = accumulating trajectory;
+#: 1 was a single point, overwritten on every run).
+SCHEMA = 2
+
+
+def load_trajectory(path: Path) -> list[dict]:
+    """Existing trajectory points of *path*, oldest first.
+
+    Understands both shapes: a schema-2 trajectory file and a legacy
+    schema-1 single-point file (migrated to a one-point trajectory).  An
+    unreadable or alien file yields an empty history rather than aborting -
+    losing the old points is better than losing today's measurement, and
+    the history lives in git anyway.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(document, dict):
+        return []
+    if isinstance(document.get("trajectory"), list):
+        return [p for p in document["trajectory"] if isinstance(p, dict)]
+    if "workloads" in document:  # legacy schema 1: the file IS the point
+        point = {k: v for k, v in document.items()
+                 if k not in ("schema", "benchmark")}
+        point.setdefault("git_sha", None)
+        return [point]
+    return []
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -211,11 +241,10 @@ def main(argv=None) -> int:
         "plan_cache_faster_than_uncached": plan["cached_s"] < plan["uncached_s"],
     }
 
-    payload = {
-        "schema": SCHEMA,
-        "benchmark": "executor",
-        "quick": bool(args.quick),
+    point = {
+        "git_sha": current_git_sha(),
         "measured_at_unix": int(time.time()),
+        "quick": bool(args.quick),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "rounds": rounds,
@@ -223,9 +252,24 @@ def main(argv=None) -> int:
         "gates": gates,
     }
     output = Path(args.output)
+    trajectory = load_trajectory(output)
+    key = (point["git_sha"], point["measured_at_unix"])
+    trajectory = [
+        p for p in trajectory
+        if (p.get("git_sha"), p.get("measured_at_unix")) != key
+    ]
+    trajectory.append(point)
+    payload = {
+        "schema": SCHEMA,
+        "benchmark": "executor",
+        "latest": point,
+        "trajectory": trajectory,
+    }
     output.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
 
-    print(f"wrote {output}")
+    print(f"wrote {output} ({len(trajectory)} trajectory point(s), "
+          f"latest {point['git_sha'][:12] if point['git_sha'] else 'unknown'} "
+          f"@ {point['measured_at_unix']})")
     print(f"  plan cache      : {plan['uncached_s']:.3f} s uncached -> "
           f"{plan['cached_s']:.3f} s cached ({plan['speedup']}x)")
     print(f"  executor scaling: {workloads['executor_scaling']['speedup']}x "

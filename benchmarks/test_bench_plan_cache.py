@@ -34,8 +34,13 @@ BACKENDS = (("serial", 1, 0), ("thread", 4, 0), ("process", 2, 0), ("async", 1, 
 
 
 def _family_campaigns(fast: bool):
+    # use_vm=False: this benchmark measures (and asserts 100 % replay on)
+    # the PR 5 plan-*replay* path specifically; with the VM engaged the
+    # runs never touch the PlanCursor.  The VM path has its own benchmark
+    # (test_bench_vm.py).
     return [
-        build_campaign(CampaignSpec(dut=dut, use_plans=fast, reuse_stands=fast))
+        build_campaign(CampaignSpec(
+            dut=dut, use_plans=fast, reuse_stands=fast, use_vm=False))
         for dut in campaignable_dut_names()
     ]
 

@@ -106,7 +106,7 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

@@ -146,6 +146,7 @@ class FaultCampaign:
         max_attempts: int = 2,
         use_plans: bool = True,
         reuse_stands: bool = True,
+        use_vm: bool = True,
     ):
         self.scripts = tuple(scripts)
         self.signals = signals
@@ -159,6 +160,7 @@ class FaultCampaign:
         #: :class:`repro.teststand.executor.Job`); off only for A/B timing.
         self.use_plans = bool(use_plans)
         self.reuse_stands = bool(reuse_stands)
+        self.use_vm = bool(use_vm)
 
     def _expand(self, faults: Sequence[FaultModel]):
         """One job per (ECU variant x script): baseline first, catalogue order."""
@@ -179,6 +181,7 @@ class FaultCampaign:
             policy=self.policy,
             use_plans=self.use_plans,
             reuse_stands=self.reuse_stands,
+            use_vm=self.use_vm,
         )
 
     def run(

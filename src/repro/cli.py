@@ -249,9 +249,10 @@ def _run_profiled_campaign(spec, *, quiet: bool = False):
     *aggregation* (rendering exactly the table/summary this invocation
     prints - the strings are returned so the caller prints rather than
     re-renders them).  The plan-cache delta over the campaign is reported
-    alongside.  Worker processes keep their timings and plan caches to
-    themselves, so with ``--backend process`` only the parent-side phases
-    carry numbers.
+    alongside.  Worker processes ship their phase timings and plan-cache
+    counters back with each result chunk, so ``--backend process`` shows
+    the worker-side phases too (summed across workers, so they can exceed
+    the parent's execution wall clock).
     """
     import time as _time
 
@@ -278,10 +279,14 @@ def _run_profiled_campaign(spec, *, quiet: bool = False):
     cache_after = GLOBAL_PLAN_CACHE.stats.snapshot()
     delta = {key: cache_after[key] - cache_before[key]
              for key in ("plans_compiled", "plan_hits", "plan_misses",
-                         "action_replays", "action_fallbacks")}
+                         "action_replays", "action_fallbacks",
+                         "vm_runs", "vm_degraded", "alloc_only_runs")}
     replays, fallbacks = delta["action_replays"], delta["action_fallbacks"]
     visits = replays + fallbacks
-    hit_rate = (replays / visits) if visits else 0.0
+    # A campaign fully rejected pre-flight (or one served end-to-end by the
+    # VM) performs zero per-action allocator visits; a rate would divide by
+    # zero, and 0% would misread as "the cache did nothing useful".
+    hit_rate = f"{replays / visits:.0%} hit rate" if visits else "n/a hit rate"
 
     def _phase(name: str) -> str:
         seconds, calls = phases.get(name, (0.0, 0))
@@ -291,12 +296,16 @@ def _run_profiled_campaign(spec, *, quiet: bool = False):
         f"profile: job expansion  {t1 - t0:.3f} s",
         f"profile: execution      {t2 - t1:.3f} s "
         f"(allocation {_phase('allocation')}; "
-        f"instrument I/O {_phase('instrument_io')})",
+        f"instrument I/O {_phase('instrument_io')}; "
+        f"VM {_phase('vm_execute')})",
         f"profile: aggregation    {t3 - t2:.3f} s",
         f"profile: plan cache     {delta['plans_compiled']} compile(s), "
         f"{delta['plan_hits']} plan hit(s) / {delta['plan_misses']} miss(es); "
         f"{replays} action replay(s) / {fallbacks} fallback(s) "
-        f"({hit_rate:.0%} hit rate)",
+        f"({hit_rate})",
+        f"profile: vm             {delta['vm_runs']} run(s) on the bytecode "
+        f"VM, {delta['alloc_only_runs']} classic, "
+        f"{delta['vm_degraded']} degraded pre-flight",
     ]
     return result, rendered, lines
 
@@ -348,6 +357,13 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--retries", type=int, default=1, metavar="N",
                         help="extra attempts per job after a transient error "
                              "(default: 1; 0 disables retrying)")
+    parser.add_argument("--vm", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="execute runs on the compiled bytecode VM when "
+                             "the cached plan carries a program (default: "
+                             "on; --no-vm forces the classic per-action "
+                             "interpreter - the verdict table is "
+                             "byte-identical either way)")
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="record the finished campaign into the "
                              "persistent result store at PATH (sqlite; "
@@ -367,9 +383,9 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown (job "
                              "expansion / allocation / instrument I/O / "
-                             "aggregation, plus the plan-cache hit rate) on "
-                             "stderr; worker-side phases are only visible "
-                             "for the serial / thread / async backends")
+                             "aggregation, plus the plan-cache hit rate and "
+                             "VM run counts) on stderr; the process backend "
+                             "merges its workers' phase timings in")
     parser.add_argument("--list-targets", action="store_true",
                         help="list the registered DUTs and stands, then exit")
     parser.add_argument("--lint", action="store_true",
@@ -394,6 +410,7 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             concurrency=args.concurrency,
             retries=args.retries,
+            use_vm=args.vm,
             store=args.store,
         )
     except ValueError as exc:

@@ -65,6 +65,11 @@ class MethodCall:
         return frozenset(names)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            # Identity first: cache lookups keyed by long-lived call objects
+            # (repro.methods.base) compare the very same instance on every
+            # hit, and the dict rebuilds below are the expensive part.
+            return True
         if isinstance(other, MethodCall):
             return (
                 self.method.lower() == other.method.lower()
@@ -73,7 +78,14 @@ class MethodCall:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash((self.method.lower(), tuple(sorted(self.params.items()))))
+        # Memoised: calls are immutable, and the parse caches in
+        # repro.methods.base hash the same long-lived call objects on every
+        # measurement, so the sort-and-lower must only ever run once.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.method.lower(), tuple(sorted(self.params.items()))))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:
         rendered = " ".join(f'{k}="{v}"' for k, v in self.params.items())

@@ -237,6 +237,8 @@ class Instrument(abc.ABC):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         """Carry out one method call against the harness (no latency).
 
@@ -245,6 +247,17 @@ class Instrument(abc.ABC):
         real-time waits - all wall-clock latency belongs to the
         ``execute`` / ``aexecute`` wrappers, all *simulated* time to the
         harness clock.
+
+        ``prepared`` is an optional ``(nominal, limits)`` pair of the
+        call's principal-attribute parameter value and acceptance interval,
+        pre-evaluated by the bytecode VM (:mod:`repro.teststand.vm`) for
+        the run's exact variables.  Instruments use a non-``None`` entry in
+        place of their own :func:`~repro.methods.base.evaluate_call_parameter`
+        / :func:`~repro.methods.base.limits_for_call` result - the values
+        are computed by those same helpers, so verdicts are byte-identical
+        - and fall back to self-evaluation otherwise.  Subclasses without
+        the keyword keep working: the VM probes the signature and simply
+        never passes it.
         """
 
     def __repr__(self) -> str:

@@ -9,7 +9,7 @@ from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..core.values import parse_binary
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, evaluate_parameter, limits_from_params
+from ..methods import MethodOutcome, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["CanInterface"]
@@ -55,6 +55,8 @@ class CanInterface(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         method = call.method.lower()
         if method == "put_can":
@@ -87,7 +89,10 @@ class CanInterface(Instrument):
                     ),
                 )
             observed_value = harness.last_can_signal(message, signal.name)
-            limits = limits_from_params(dict(call.params), "data", variables)
+            if prepared is not None and prepared[1] is not None:
+                limits = prepared[1]
+            else:
+                limits = limits_for_call(call, "data", variables)
             passed = observed_value is not None and limits.contains(observed_value)
             return MethodOutcome(
                 method=call.method,

@@ -29,7 +29,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, limits_from_params
+from ..methods import MethodOutcome, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["CurrentProbe"]
@@ -69,13 +69,18 @@ class CurrentProbe(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         if call.method.lower() != "get_i":
             raise InstrumentError(f"current probe {self.name!r} cannot perform {call.method!r}")
         if not pins:
             raise InstrumentError(f"current probe {self.name!r} has not been routed to any pin")
         observed = harness.measure_current(pins[0])
-        limits = limits_from_params(dict(call.params), "i", variables)
+        if prepared is not None and prepared[1] is not None:
+            limits = prepared[1]
+        else:
+            limits = limits_for_call(call, "i", variables)
         # Fractional accuracy: ±(accuracy x reading) amperes of tolerance.
         passed = limits.contains(observed, tolerance=self.accuracy * abs(observed))
         return MethodOutcome(

@@ -8,7 +8,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, evaluate_parameter, limits_from_params
+from ..methods import MethodOutcome, evaluate_call_parameter, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["DigitalIo"]
@@ -43,13 +43,18 @@ class DigitalIo(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         method = call.method.lower()
         if not pins:
             raise InstrumentError(f"digital I/O {self.name!r} has not been routed to any pin")
         supply = float(variables.get("ubatt", harness.ubatt))
         if method == "put_digital":
-            level = evaluate_parameter(dict(call.params), "level", variables, default=0.0) or 0.0
+            if prepared is not None and prepared[0] is not None:
+                level = prepared[0] or 0.0
+            else:
+                level = evaluate_call_parameter(call, "level", variables, default=0.0) or 0.0
             level = 1.0 if level >= 0.5 else 0.0
             harness.apply_voltage(pins[0], level * supply)
             return MethodOutcome(
@@ -61,7 +66,10 @@ class DigitalIo(Instrument):
         if method == "get_digital":
             voltage = harness.measure_voltage(pins[0])
             observed = 1.0 if voltage >= supply / 2.0 else 0.0
-            limits = limits_from_params(dict(call.params), "level", variables)
+            if prepared is not None and prepared[1] is not None:
+                limits = prepared[1]
+            else:
+                limits = limits_for_call(call, "level", variables)
             passed = limits.contains(observed)
             return MethodOutcome(
                 method=call.method,

@@ -8,7 +8,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, limits_from_params
+from ..methods import MethodOutcome, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["Dvm"]
@@ -56,6 +56,8 @@ class Dvm(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         if call.method.lower() != "get_u":
             raise InstrumentError(f"DVM {self.name!r} cannot perform {call.method!r}")
@@ -70,7 +72,10 @@ class Dvm(Instrument):
                 unit="V",
                 detail=f"reading outside the meter range of {self.name}",
             )
-        limits = limits_from_params(dict(call.params), "u", variables)
+        if prepared is not None and prepared[1] is not None:
+            limits = prepared[1]
+        else:
+            limits = limits_for_call(call, "u", variables)
         passed = limits.contains(observed, tolerance=self.accuracy)
         return MethodOutcome(
             method=call.method,

@@ -8,7 +8,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, limits_from_params
+from ..methods import MethodOutcome, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["OhmMeter"]
@@ -42,13 +42,18 @@ class OhmMeter(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         if call.method.lower() != "get_r":
             raise InstrumentError(f"ohm meter {self.name!r} cannot perform {call.method!r}")
         if not pins:
             raise InstrumentError(f"ohm meter {self.name!r} has not been routed to any pin")
         observed = harness.measure_resistance(pins[0])
-        limits = limits_from_params(dict(call.params), "r", variables)
+        if prepared is not None and prepared[1] is not None:
+            limits = prepared[1]
+        else:
+            limits = limits_for_call(call, "r", variables)
         passed = limits.contains(observed, tolerance=self.accuracy)
         return MethodOutcome(
             method=call.method,

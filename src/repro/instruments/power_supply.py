@@ -8,7 +8,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, evaluate_parameter, limits_from_params
+from ..methods import MethodOutcome, evaluate_call_parameter, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["PowerSupply"]
@@ -43,17 +43,25 @@ class PowerSupply(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         if call.method.lower() != "put_u":
             raise InstrumentError(f"power supply {self.name!r} cannot perform {call.method!r}")
         if not pins:
             raise InstrumentError(f"power supply {self.name!r} has not been routed to any pin")
-        requested = evaluate_parameter(dict(call.params), "u", variables)
+        if prepared is not None and prepared[0] is not None:
+            requested = prepared[0]
+        else:
+            requested = evaluate_call_parameter(call, "u", variables)
         if requested is None:
             raise InstrumentError("put_u without a u parameter")
         applied = min(max(requested, self.u_min), self.u_max)
         harness.apply_voltage(pins[0], applied)
-        acceptance = limits_from_params(dict(call.params), "u", variables)
+        if prepared is not None and prepared[1] is not None:
+            acceptance = prepared[1]
+        else:
+            acceptance = limits_for_call(call, "u", variables)
         passed = acceptance.contains(applied, tolerance=1e-9)
         return MethodOutcome(
             method=call.method,

@@ -9,7 +9,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, evaluate_parameter, limits_from_params
+from ..methods import MethodOutcome, evaluate_call_parameter, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["ResistorDecade"]
@@ -60,6 +60,8 @@ class ResistorDecade(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         if call.method.lower() != "put_r":
             raise InstrumentError(
@@ -69,12 +71,18 @@ class ResistorDecade(Instrument):
             raise InstrumentError(
                 f"resistor decade {self.name!r} has not been routed to any pin"
             )
-        requested = evaluate_parameter(dict(call.params), "r", variables)
+        if prepared is not None and prepared[0] is not None:
+            requested = prepared[0]
+        else:
+            requested = evaluate_call_parameter(call, "r", variables)
         if requested is None:
             raise InstrumentError("put_r without an r parameter")
         applied = self.max_ohms if math.isinf(requested) else self._quantise(requested)
         harness.apply_resistance(pins[0], applied)
-        acceptance = limits_from_params(dict(call.params), "r", variables)
+        if prepared is not None and prepared[1] is not None:
+            acceptance = prepared[1]
+        else:
+            acceptance = limits_for_call(call, "r", variables)
         passed = acceptance.contains(applied, tolerance=self.resolution / 2)
         detail = (
             f"{self.name} applied {applied:g} Ohm at {pins[0]}"

@@ -8,7 +8,7 @@ from ..core.errors import InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
 from ..dut.harness import TestHarness
-from ..methods import MethodOutcome, evaluate_parameter, limits_from_params
+from ..methods import MethodOutcome, evaluate_call_parameter, limits_for_call
 from .base import Capability, Instrument
 
 __all__ = ["SignalGenerator"]
@@ -46,17 +46,25 @@ class SignalGenerator(Instrument):
         pins: Sequence[str],
         harness: TestHarness,
         variables: Mapping[str, float],
+        *,
+        prepared: tuple | None = None,
     ) -> MethodOutcome:
         method = call.method.lower()
         if not pins:
             raise InstrumentError(f"signal generator {self.name!r} has not been routed to any pin")
         if method == "put_u":
-            requested = evaluate_parameter(dict(call.params), "u", variables)
+            if prepared is not None and prepared[0] is not None:
+                requested = prepared[0]
+            else:
+                requested = evaluate_call_parameter(call, "u", variables)
             if requested is None:
                 raise InstrumentError("put_u without a u parameter")
             applied = min(max(requested, self.u_min), self.u_max)
             harness.apply_voltage(pins[0], applied)
-            acceptance = limits_from_params(dict(call.params), "u", variables)
+            if prepared is not None and prepared[1] is not None:
+                acceptance = prepared[1]
+            else:
+                acceptance = limits_for_call(call, "u", variables)
             return MethodOutcome(
                 method=call.method,
                 passed=acceptance.contains(applied, tolerance=1e-9),
@@ -65,7 +73,10 @@ class SignalGenerator(Instrument):
                 detail=f"{self.name} applied {applied:g} V at {pins[0]}",
             )
         if method == "put_digital":
-            level = evaluate_parameter(dict(call.params), "level", variables, default=0.0) or 0.0
+            if prepared is not None and prepared[0] is not None:
+                level = prepared[0] or 0.0
+            else:
+                level = evaluate_call_parameter(call, "level", variables, default=0.0) or 0.0
             level = 1.0 if level >= 0.5 else 0.0
             supply = float(variables.get("ubatt", harness.ubatt))
             harness.apply_voltage(pins[0], level * supply)

@@ -6,7 +6,9 @@ must never call a blocking ``execute`` (async backend), and the plan cache
 is only correct when fingerprints are stable across rebuilds of the same
 stand or script.  The persistent result store adds a fourth: names that
 only differ in case merge silently under its case-insensitive queries.
-These rules verify all four statically.
+The bytecode VM adds a fifth: a (sheet x stand) pair the VM cannot
+compile silently runs on the classic interpreter forever.  These rules
+verify all five statically.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import pickle
 import textwrap
 
 from ..core.compiler import Compiler
-from ..teststand.plan import script_fingerprint, stand_fingerprint
+from ..teststand.plan import compile_plan, script_fingerprint, stand_fingerprint
 from .context import LintContext
 from .findings import ERROR, WARNING, LintRule
 
@@ -142,9 +144,9 @@ def blocking_execute_calls(source: str) -> tuple[tuple[int, str], ...]:
 def check_blocking_execute(context: LintContext, rule: LintRule):
     """Blocking instrument calls reachable from the async run path."""
     from ..instruments import base as instruments_base
-    from ..teststand import executor, interpreter
+    from ..teststand import executor, interpreter, vm
 
-    for module in (interpreter, executor, instruments_base):
+    for module in (interpreter, executor, vm, instruments_base):
         try:
             source = inspect.getsource(module)
         except Exception:
@@ -292,6 +294,63 @@ def check_unstorable_result(context: LintContext, rule: LintRule):
             )
 
 
+# ---------------------------------------------------------------------------
+# X-UNCOMPILABLE-SCRIPT
+# ---------------------------------------------------------------------------
+
+def check_uncompilable_script(context: LintContext, rule: LintRule):
+    """(sheet x stand) pairs the bytecode VM cannot compile.
+
+    Compiles every registered combination pre-flight exactly the way the
+    plan cache would on first run.  A combination whose plan carries no
+    ``program`` silently takes the classic interpreter on every run - the
+    campaign still produces correct verdicts, but the ``--vm`` speedup the
+    operator asked for never materialises.  Only pairs the stand can
+    actually serve are judged: a stand missing the sheet's methods is
+    R-UNSERVABLE-STEP territory, not a VM gap.
+    """
+    for dut in context.duts:
+        try:
+            signals = dut.signals_factory()
+        except Exception:
+            continue
+        for script in context.scripts(dut):
+            methods = script.methods_used()
+            for target in context.eligible_stands(dut):
+                if target.missing_methods(methods):
+                    continue
+                instance = context.stand_instance(target, dut)
+                if instance is None:
+                    continue
+                try:
+                    plan = compile_plan(
+                        script, signals, instance,
+                        policy="first_fit", registry=context.registry,
+                        variables=context.stand_variables(instance),
+                    )
+                except Exception as exc:
+                    reason = f"plan compilation raised {exc!r}"
+                else:
+                    if plan.program is not None:
+                        continue
+                    if any(entry.kind == "fail" for entry in plan.entries):
+                        # The combination errors identically on the classic
+                        # path - that is R-UNSERVABLE-STEP territory, not a
+                        # VM expressibility gap.
+                        continue
+                    reason = plan.vm_reason or "no reason recorded"
+                yield rule.finding(
+                    f"sheet:{script.name} stand:{target.name}",
+                    f"the bytecode VM cannot compile this sheet for stand "
+                    f"{target.name!r} ({reason}); every run of the "
+                    f"combination degrades to the classic interpreter",
+                    hint="rewrite the failing op in VM-expressible form "
+                         "(numeric wait durations, resolvable signals) or "
+                         "accept the classic-path cost with --no-vm",
+                    dut=dut.name,
+                )
+
+
 RULES = (
     LintRule(
         "X-UNPICKLABLE-FACTORY", ERROR,
@@ -313,5 +372,11 @@ RULES = (
         "sheet or fault-group names collide case-insensitively and would "
         "merge rows in the result store",
         check_unstorable_result,
+    ),
+    LintRule(
+        "X-UNCOMPILABLE-SCRIPT", WARNING,
+        "the bytecode VM cannot compile a (sheet x stand) pair; its runs "
+        "silently degrade to the classic interpreter",
+        check_uncompilable_script,
     ),
 )

@@ -6,7 +6,9 @@ from .base import (
     MethodSpec,
     ParameterRole,
     ParameterSpec,
+    evaluate_call_parameter,
     evaluate_parameter,
+    limits_for_call,
     limits_from_params,
 )
 from .bus import BUS_METHODS, GET_CAN, PUT_CAN
@@ -33,7 +35,9 @@ __all__ = [
     "MethodRegistry",
     "default_registry",
     "evaluate_parameter",
+    "evaluate_call_parameter",
     "limits_from_params",
+    "limits_for_call",
     "ELECTRICAL_METHODS",
     "BUS_METHODS",
     "TIMING_METHODS",

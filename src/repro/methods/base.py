@@ -36,6 +36,7 @@ from ..core.values import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.script import MethodCall
     from ..core.status import StatusDefinition
 
 __all__ = [
@@ -45,7 +46,9 @@ __all__ = [
     "MethodSpec",
     "MethodOutcome",
     "evaluate_parameter",
+    "evaluate_call_parameter",
     "limits_from_params",
+    "limits_for_call",
 ]
 
 
@@ -309,6 +312,108 @@ def limits_from_params(
     """
     low = evaluate_parameter(params, f"{attribute}_min", variables, default=float("-inf"))
     high = evaluate_parameter(params, f"{attribute}_max", variables, default=float("inf"))
+    if low is None:
+        low = float("-inf")
+    if high is None:
+        high = float("inf")
+    if low > high:
+        low, high = high, low
+    return Interval(low, high)
+
+
+@functools.lru_cache(maxsize=4096)
+def _call_parameter_program(call: "MethodCall", name: str) -> float | LimitExpression | None:
+    """Resolve one call parameter to its parsed form, once per (call, name).
+
+    ``MethodCall`` is frozen and hashable, so the case-insensitive parameter
+    scan and the number-vs-expression parse only ever run once per distinct
+    call; campaigns re-issue the same handful of calls tens of thousands of
+    times.  ``None`` covers both an absent and an empty parameter (the
+    caller substitutes its default either way, exactly like
+    :func:`evaluate_parameter`).
+    """
+    wanted = str(name).lower()
+    for key, raw in call.params.items():
+        if str(key).lower() == wanted:
+            text = str(raw).strip()
+            if not text:
+                return None
+            return _parse_or_compile(text)
+    return None
+
+
+@functools.lru_cache(maxsize=8192)
+def _evaluate_expression_cached(expr: LimitExpression, vars_items: tuple) -> float:
+    """One expression evaluation per distinct (expression, variable values).
+
+    Sound because expressions are immutable and hash by their source text,
+    and the key carries the variable *values*: a changed supply voltage is
+    a different key, never a stale hit.  Raised errors (missing variables)
+    are not cached and re-raise on every call, like the uncached path.
+    """
+    return expr.evaluate(dict(vars_items))
+
+
+def evaluate_call_parameter(
+    call: "MethodCall",
+    name: str,
+    variables: Mapping[str, float] | None = None,
+    *,
+    default: float | None = None,
+) -> float | None:
+    """:func:`evaluate_parameter` for a :class:`MethodCall`, parse-cached.
+
+    Byte-identical results to ``evaluate_parameter(dict(call.params), ...)``
+    - same first-match scan order, same expression semantics - minus the
+    per-call dict build, scan, parse and (for repeated variable values)
+    expression tree walk.
+    """
+    parsed = _call_parameter_program(call, name)
+    if parsed is None:
+        return default
+    if isinstance(parsed, LimitExpression):
+        return _evaluate_expression_cached(
+            parsed, tuple((variables or {}).items()))
+    return parsed
+
+
+@functools.lru_cache(maxsize=4096)
+def _call_limits_constant(call: "MethodCall", attribute: str):
+    """The ready :class:`Interval` when both bounds are plain numbers.
+
+    Returns the (frozen, shareable) interval, or ``None`` when either bound
+    is expression-valued and therefore needs the run variables.
+    """
+    low = _call_parameter_program(call, f"{attribute}_min")
+    high = _call_parameter_program(call, f"{attribute}_max")
+    if isinstance(low, LimitExpression) or isinstance(high, LimitExpression):
+        return None
+    low = float("-inf") if low is None else low
+    high = float("inf") if high is None else high
+    if low > high:
+        low, high = high, low
+    return Interval(low, high)
+
+
+def limits_for_call(
+    call: "MethodCall",
+    attribute: str,
+    variables: Mapping[str, float] | None = None,
+) -> Interval:
+    """:func:`limits_from_params` for a :class:`MethodCall`, parse-cached.
+
+    Constant bounds short-circuit to one cached frozen interval; expression
+    bounds re-evaluate with *variables* every call (run-dependent limits
+    must track the live values), with the same normalisation as
+    :func:`limits_from_params`.
+    """
+    constant = _call_limits_constant(call, attribute)
+    if constant is not None:
+        return constant
+    low = evaluate_call_parameter(
+        call, f"{attribute}_min", variables, default=float("-inf"))
+    high = evaluate_call_parameter(
+        call, f"{attribute}_max", variables, default=float("inf"))
     if low is None:
         low = float("-inf")
     if high is None:

@@ -813,10 +813,12 @@ class CampaignSpec:
     :class:`~repro.core.errors.ConfigurationError` (a ``ValueError``) at
     construction instead of being silently clamped later.
 
-    ``use_plans`` / ``reuse_stands`` are the compile-once-run-many fast
-    paths (cached execution plans, per-worker stand pools).  Both default
-    on and never change the verdict table; turning one off exists for A/B
-    wall-clock comparisons like ``tools/bench_trajectory.py``.
+    ``use_plans`` / ``reuse_stands`` / ``use_vm`` are the
+    compile-once-run-many fast paths (cached execution plans, per-worker
+    stand pools, the bytecode VM over the plans).  All default on and
+    never change the verdict table; turning one off exists for A/B
+    wall-clock comparisons like ``tools/bench_trajectory.py`` and the
+    ``--no-vm`` CLI switch.
 
     ``preflight`` selects the pre-flight depth (:data:`PREFLIGHT_MODES`):
     ``"lint"`` runs the static analyzer over the target before any job is
@@ -845,6 +847,7 @@ class CampaignSpec:
     retries: int = 1
     use_plans: bool = True
     reuse_stands: bool = True
+    use_vm: bool = True
     preflight: str = "coverage"
     store: str | None = None
 
@@ -963,6 +966,7 @@ def build_campaign(spec: CampaignSpec, *,
         max_attempts=1 + max(0, spec.retries),
         use_plans=spec.use_plans,
         reuse_stands=spec.reuse_stands,
+        use_vm=spec.use_vm,
     )
     return campaign, faults
 

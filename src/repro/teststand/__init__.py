@@ -9,9 +9,12 @@ many latency-simulated stands from one worker by awaiting instrument I/O
 
 Execution is compile-once-run-many: :mod:`repro.teststand.plan` caches the
 pre-resolved allocation sequence per (script x stand-topology x policy x
-variables) in :data:`GLOBAL_PLAN_CACHE`, workers reuse pooled stands
-between jobs, and the process backend dispatches jobs in chunks - all
-verdict-neutral fast paths (see ``docs/performance.md``).
+variables) in :data:`GLOBAL_PLAN_CACHE` - and, since the plan carries a
+compiled :class:`~repro.teststand.vm.VmProgram`, the whole measurement
+loop executes as a flat bytecode stream (:mod:`repro.teststand.vm`) -
+workers reuse pooled stands between jobs, and the process backend
+dispatches jobs in chunks - all verdict-neutral fast paths (see
+``docs/performance.md`` and ``docs/execution-vm.md``).
 """
 
 from .allocator import ALLOCATION_POLICIES, Allocation, Allocator
@@ -50,6 +53,7 @@ from .plan import (
     compile_plan,
 )
 from .profiling import PROFILER, PhaseProfiler
+from .vm import VmCompileError, VmCursor, VmProgram, compile_program
 from .report import campaign_summary, format_table, json_report, summary_line, text_report
 from .resources import Resource, ResourceTable
 from .serialize import (
@@ -96,6 +100,10 @@ __all__ = [
     "PlanCacheStats",
     "GLOBAL_PLAN_CACHE",
     "compile_plan",
+    "VmProgram",
+    "VmCursor",
+    "VmCompileError",
+    "compile_program",
     "PROFILER",
     "PhaseProfiler",
     "EXECUTION_BACKENDS",

@@ -40,7 +40,7 @@ from ..core.errors import AllocationError, CapabilityError, RoutingError
 from ..core.script import MethodCall
 from ..core.signals import Signal
 from ..core.values import Interval
-from ..methods import MethodRegistry, default_registry, evaluate_parameter, limits_from_params
+from ..methods import MethodRegistry, default_registry, evaluate_call_parameter, limits_for_call
 from .connection import ConnectionMatrix, MuxChannel, Route
 from .resources import Resource, ResourceTable
 
@@ -274,12 +274,12 @@ class Allocator:
         attribute = capability.attribute
         nominal = None
         try:
-            nominal = evaluate_parameter(dict(call.params), attribute, variables)
+            nominal = evaluate_call_parameter(call, attribute, variables)
         except Exception:
             nominal = None
         acceptance: Interval | None
         try:
-            acceptance = limits_from_params(dict(call.params), attribute, variables)
+            acceptance = limits_for_call(call, attribute, variables)
             if math.isinf(acceptance.low) and math.isinf(acceptance.high):
                 acceptance = None
         except Exception:
@@ -346,6 +346,35 @@ class Allocator:
                     continue
             return route
         return None
+
+    def register_planned(
+        self,
+        signal_key: str,
+        resource_key: str,
+        routes: tuple[Route, ...],
+        persistent: bool,
+    ) -> None:
+        """Book one pre-validated planned allocation without any search.
+
+        The VM fast path (:mod:`repro.teststand.vm`) validates a whole
+        run's allocations up front and then executes the compiled stream;
+        this keeps the allocator's hold/statistics bookkeeping in
+        lock-step per instruction - the same state transitions
+        :meth:`replay` applies, minus the per-action re-checks the run
+        prologue already performed.
+        """
+        self.attempts += 1
+        if persistent:
+            for route in routes:
+                self._held_terminals[(resource_key, route.terminal)] = signal_key
+                if isinstance(route.connector, MuxChannel):
+                    self._mux_selection[route.connector.mux] = (
+                        route.connector.label,
+                        signal_key,
+                    )
+        self._allocation_counts[resource_key] = (
+            self._allocation_counts.get(resource_key, 0) + 1
+        )
 
     def _register(
         self,

@@ -52,6 +52,7 @@ from ..core.script import TestScript
 from ..core.signals import SignalSet
 from .interpreter import TestStandInterpreter
 from .plan import GLOBAL_PLAN_CACHE
+from .profiling import PROFILER
 from .report import format_table
 from .stands import TestStand
 from .verdict import TestResult, Verdict
@@ -97,14 +98,17 @@ class Job:
     belongs to (e.g. the fault-model name, or ``"baseline"``), and
     ``index`` fixes the job's place in the deterministic aggregate.
 
-    Two fast-path switches ride along (both on by default, neither ever
+    Three fast-path switches ride along (all on by default, none ever
     changes a verdict): ``reuse_stands`` lets the executing worker lease
     the stand from its per-worker pool (one stand per distinct
     ``stand_factory``, :meth:`~repro.teststand.stands.TestStand.reset`
-    between jobs) instead of rebuilding it, and ``use_plans`` lets the
+    between jobs) instead of rebuilding it, ``use_plans`` lets the
     interpreter replay the cached
     :class:`~repro.teststand.plan.ExecutionPlan` for the (script x stand x
-    policy) combination instead of searching resources per action.
+    policy) combination instead of searching resources per action, and
+    ``use_vm`` (requires ``use_plans``) executes the plan's compiled
+    bytecode program (:mod:`repro.teststand.vm`) instead of walking the
+    actions at all.
     """
 
     index: int
@@ -119,6 +123,7 @@ class Job:
     stand_label: str = ""
     use_plans: bool = True
     reuse_stands: bool = True
+    use_vm: bool = True
 
     @property
     def job_id(self) -> str:
@@ -206,6 +211,7 @@ def _interpreter_for(job: Job, stand: TestStand) -> TestStandInterpreter:
         stand, harness, job.signals,
         policy=job.policy, stop_on_error=job.stop_on_error,
         plan_cache=GLOBAL_PLAN_CACHE if job.use_plans else None,
+        use_vm=job.use_vm,
     )
 
 
@@ -355,9 +361,29 @@ def _run_job_chunk(
     fn: Callable[..., JobResult],
     chunk: Sequence[tuple[int, Job]],
     extra: tuple,
-) -> list[tuple[int, JobResult]]:
-    """Worker-side chunk runner: execute every job of *chunk* in order."""
-    return [(position, fn(job, *extra)) for position, job in chunk]
+    profile: bool = False,
+) -> tuple[list[tuple[int, JobResult]], dict | None, dict | None]:
+    """Worker-side chunk runner: execute every job of *chunk* in order.
+
+    With ``profile`` the worker's process-global profiler and plan-cache
+    statistics are measured across the chunk and the *deltas* ship back
+    with the results - workers are reused across chunks, so absolute
+    counters would double-count - for the parent to merge.  Without it
+    both extra slots are ``None`` and nothing is measured.
+    """
+    if not profile:
+        return [(position, fn(job, *extra)) for position, job in chunk], None, None
+    PROFILER.enable()
+    PROFILER.reset()
+    stats_before = GLOBAL_PLAN_CACHE.stats.snapshot()
+    results = [(position, fn(job, *extra)) for position, job in chunk]
+    stats_after = GLOBAL_PLAN_CACHE.stats.snapshot()
+    stats_delta = {
+        name: stats_after[name] - stats_before.get(name, 0)
+        for name in stats_after
+        if name != "hit_rate"  # derived, not additive
+    }
+    return results, PROFILER.snapshot(), stats_delta
 
 
 class ProcessExecutor(Executor):
@@ -400,14 +426,22 @@ class ProcessExecutor(Executor):
         return [indexed[start:start + size] for start in range(0, len(indexed), size)]
 
     def map_jobs(self, fn, jobs, *extra):
+        profile = PROFILER.enabled
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = [
-                    pool.submit(_run_job_chunk, fn, chunk, extra)
+                    pool.submit(_run_job_chunk, fn, chunk, extra, profile)
                     for chunk in self._chunked(tuple(jobs))
                 ]
                 for future in as_completed(futures):
-                    yield from future.result()
+                    results, phases, stats_delta = future.result()
+                    # Fold the worker-side phase times and plan-cache
+                    # counters in so --profile sees through the pool.
+                    if phases:
+                        PROFILER.merge(phases)
+                    if stats_delta:
+                        GLOBAL_PLAN_CACHE.merge_stats(stats_delta)
+                    yield from results
         except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
             raise ReproError(
                 "the process backend requires picklable jobs "
@@ -530,14 +564,16 @@ def expand_jobs(
     stop_on_error: bool = False,
     use_plans: bool = True,
     reuse_stands: bool = True,
+    use_vm: bool = True,
 ) -> tuple[Job, ...]:
     """Expand (ECU groups x stands x scripts) into an ordered job list.
 
     The iteration order — ECU group outermost, then stand, then script —
     defines the deterministic aggregate order, mirroring how a serial
     campaign would have walked the same cross product.  ``use_plans`` /
-    ``reuse_stands`` forward to every job (see :class:`Job`); leaving them
-    on is always safe, turning them off exists for A/B measurements.
+    ``reuse_stands`` / ``use_vm`` forward to every job (see :class:`Job`);
+    leaving them on is always safe, turning them off exists for A/B
+    measurements.
     """
     expanded: list[Job] = []
     for group, ecu_factory in ecus.items():
@@ -556,6 +592,7 @@ def expand_jobs(
                     stand_label=stand_label,
                     use_plans=use_plans,
                     reuse_stands=reuse_stands,
+                    use_vm=use_vm,
                 ))
     return tuple(expanded)
 

@@ -44,6 +44,7 @@ from .plan import (
 from .profiling import PROFILER
 from .stands import TestStand
 from .verdict import ActionResult, StepResult, TestResult, Verdict
+from .vm import VmCursor
 
 __all__ = ["TestStandInterpreter", "run_script"]
 
@@ -61,6 +62,13 @@ class TestStandInterpreter:
     byte-identical with plans on or off).  It defaults to the process-wide
     :data:`~repro.teststand.plan.GLOBAL_PLAN_CACHE`; pass ``None`` to force
     the pre-plan full search on every action.
+
+    ``use_vm`` (default on, requires a plan cache) selects the bytecode
+    fast path on top: when the cached plan carries a compiled
+    :class:`~repro.teststand.vm.VmProgram`, each run binds it to the stand,
+    self-checks it in a prologue and - if everything matches - executes the
+    flat instruction stream instead of walking actions, with verdicts
+    byte-identical to the classic path (see :mod:`repro.teststand.vm`).
     """
 
     def __init__(
@@ -73,6 +81,7 @@ class TestStandInterpreter:
         registry: MethodRegistry | None = None,
         stop_on_error: bool = False,
         plan_cache: PlanCache | None = GLOBAL_PLAN_CACHE,
+        use_vm: bool = True,
     ):
         self.stand = stand
         self.harness = harness
@@ -81,7 +90,9 @@ class TestStandInterpreter:
         self.policy = policy
         self.stop_on_error = stop_on_error
         self.plan_cache = plan_cache
+        self.use_vm = bool(use_vm) and plan_cache is not None
         self._plan_cursor: PlanCursor | None = None
+        self._vm_cursor: VmCursor | None = None
         self.allocator = Allocator(
             stand.resources, stand.connections, policy=policy, registry=self.registry
         )
@@ -92,9 +103,22 @@ class TestStandInterpreter:
         """Execute *script* synchronously and return the collected verdicts.
 
         Each instrument call blocks for the instrument's ``io_delay`` - the
-        path the serial / thread / process backends use.
+        path the serial / thread / process backends use.  When the cached
+        plan carries a compiled VM program and its run prologue validates,
+        the whole measurement loop executes as the flat instruction stream;
+        otherwise (or on any prologue mismatch) the classic per-action walk
+        below runs, producing identical verdicts.
         """
         wall_start, variables, clock_start = self._begin(script)
+
+        cursor = self._vm_cursor
+        if cursor is not None:
+            t0 = _time.perf_counter() if PROFILER.enabled else None
+            setup_results, steps = cursor.execute(variables)
+            if t0 is not None:
+                PROFILER.add("vm_execute", _time.perf_counter() - t0)
+            return self._collect(
+                script, setup_results, steps, clock_start, wall_start)
 
         setup_results: list[ActionResult] = []
         setup_failed = False
@@ -130,6 +154,15 @@ class TestStandInterpreter:
         """
         wall_start, variables, clock_start = self._begin(script)
 
+        cursor = self._vm_cursor
+        if cursor is not None:
+            t0 = _time.perf_counter() if PROFILER.enabled else None
+            setup_results, steps = await cursor.aexecute(variables)
+            if t0 is not None:
+                PROFILER.add("vm_execute", _time.perf_counter() - t0)
+            return self._collect(
+                script, setup_results, steps, clock_start, wall_start)
+
         setup_results: list[ActionResult] = []
         setup_failed = False
         for action in script.setup:
@@ -163,6 +196,7 @@ class TestStandInterpreter:
                 f"test stand {self.stand.name!r} does not provide variables {missing}"
             )
         self._plan_cursor = None
+        self._vm_cursor = None
         if self.plan_cache is not None:
             # One cache lookup per run; the first run of a combination pays
             # the compile, every later run replays.  Plan trouble of any
@@ -175,7 +209,23 @@ class TestStandInterpreter:
                 )
                 self._plan_cursor = plan.cursor()
             except Exception:
+                plan = None
                 self._plan_cursor = None
+            if self.use_vm and plan is not None and plan.program is not None:
+                # VM fast path: bind the program to this stand and run its
+                # prologue self-check.  Any mismatch - a live signal pinned
+                # differently than compiled, a variable-dependent window
+                # that no longer fits - degrades this whole run to the
+                # classic walk before anything has executed.
+                cursor = VmCursor(
+                    plan.program, self.stand,
+                    signals=self.signals, allocator=self.allocator,
+                    harness=self.harness, stop_on_error=self.stop_on_error,
+                )
+                if cursor.validate(variables):
+                    self._vm_cursor = cursor
+                else:
+                    self.plan_cache.note_vm_degrade()
         return wall_start, variables, self.harness.now
 
     def _collect(
@@ -191,8 +241,14 @@ class TestStandInterpreter:
         cursor = self._plan_cursor
         if cursor is not None:
             if self.plan_cache is not None:
-                self.plan_cache.note_run(cursor.hits, cursor.misses)
+                if self._vm_cursor is not None:
+                    # The VM executed the run; the untouched plan cursor
+                    # carries no action counters worth folding in.
+                    self.plan_cache.note_vm_run()
+                else:
+                    self.plan_cache.note_run(cursor.hits, cursor.misses)
             self._plan_cursor = None
+        self._vm_cursor = None
         # Simulated duration is the harness clock delta, which also covers
         # `wait` actions and time spent during setup - not just the sum of
         # the step durations.

@@ -43,11 +43,12 @@ from ..core.signals import Signal, SignalSet
 from ..methods import (
     MethodOutcome,
     MethodRegistry,
-    evaluate_parameter,
-    limits_from_params,
+    evaluate_call_parameter,
+    limits_for_call,
 )
 from .allocator import Allocation, Allocator
 from .stands import TestStand
+from . import vm
 
 __all__ = [
     "PlanEntry",
@@ -96,12 +97,12 @@ def open_circuit_requested(
     if action.method.lower() != "put_r" or signal.is_bus:
         return False
     try:
-        requested = evaluate_parameter(dict(action.call.params), "r", variables)
+        requested = evaluate_call_parameter(action.call, "r", variables)
     except Exception:
         return False
     if requested is None or not math.isinf(requested):
         return False
-    acceptance = limits_from_params(dict(action.call.params), "r", variables)
+    acceptance = limits_for_call(action.call, "r", variables)
     return math.isinf(acceptance.high)
 
 
@@ -182,12 +183,15 @@ class _HashedKey:
 
 
 def script_fingerprint(script: TestScript, signals: SignalSet) -> "_HashedKey":
-    """Allocation-relevant content identity of (script, resolved signals).
+    """Execution-relevant content identity of (script, resolved signals).
 
     Covers every action (order, signal, method, parameters) plus the pin /
     bus resolution of every signal the script touches - everything the
-    allocation sequence depends on.  Step durations and remarks are
-    irrelevant to allocation and deliberately excluded.  The result is
+    allocation sequence depends on - plus the step skeleton (number,
+    settle duration, remark).  The skeleton was irrelevant while plans
+    stopped at allocation, but the cached plan now carries the compiled VM
+    program of the *whole measurement loop*, whose ``WAIT`` / ``END_STEP``
+    operands bake in exactly those step fields.  The result is
     memoised on the script object, guarded by the step/setup counts (the
     only way a ``TestScript`` can grow) *and* by the signal-set object:
     the same script run against a differently-pinned set must fingerprint
@@ -232,8 +236,13 @@ def script_fingerprint(script: TestScript, signals: SignalSet) -> "_HashedKey":
             str(signal.message).lower() if signal.message else None,
         ))
 
+    steps_meta = tuple(
+        (step.number, float(step.duration), step.remark)
+        for step in script.steps
+    )
     fingerprint = _HashedKey(
-        (script.name, script.dut.lower(), tuple(actions), tuple(resolved))
+        (script.name, script.dut.lower(), tuple(actions), tuple(resolved),
+         steps_meta)
     )
     script.__dict__["_allocation_fingerprint"] = (guard, signals, fingerprint)
     return fingerprint
@@ -363,13 +372,25 @@ class PlanEntry:
 
 
 class ExecutionPlan:
-    """The pre-resolved allocation sequence of one (script x stand x policy)."""
+    """The pre-resolved execution of one (script x stand x policy).
 
-    __slots__ = ("entries", "key")
+    ``entries`` is the allocation sequence the classic interpreter replays
+    per action; ``program`` is the compiled VM instruction stream of the
+    whole measurement loop (see :mod:`repro.teststand.vm`), or ``None``
+    when the combination is not VM-expressible - ``vm_reason`` then names
+    the failing op and why (surfaced by the ``X-UNCOMPILABLE-SCRIPT`` lint
+    rule).  Both are compiled from the same inputs under the same cache
+    key, so a plan hit serves allocation *and* the full fast path.
+    """
 
-    def __init__(self, entries: tuple[PlanEntry, ...], key: tuple = ()):
+    __slots__ = ("entries", "key", "program", "vm_reason")
+
+    def __init__(self, entries: tuple[PlanEntry, ...], key: tuple = (), *,
+                 program=None, vm_reason: str = ""):
         self.entries = tuple(entries)
         self.key = key
+        self.program = program
+        self.vm_reason = vm_reason
 
     def cursor(self) -> "PlanCursor":
         """A fresh replay cursor for one run."""
@@ -379,7 +400,8 @@ class ExecutionPlan:
         return len(self.entries)
 
     def __repr__(self) -> str:
-        return f"ExecutionPlan(entries={len(self.entries)})"
+        vm = "vm" if self.program is not None else "no-vm"
+        return f"ExecutionPlan(entries={len(self.entries)}, {vm})"
 
 
 class PlanCursor:
@@ -447,6 +469,12 @@ def compile_plan(
     recorded as unplannable slots; open-circuit realisations apply the same
     release they apply at run time so the simulated hold state stays in
     lock-step.
+
+    The recorded entries then feed the VM compiler
+    (:func:`repro.teststand.vm.compile_program`): when the whole
+    measurement loop is expressible as a flat instruction stream, the plan
+    carries the compiled ``program``; otherwise ``vm_reason`` records the
+    failing op and every run of the combination takes the classic path.
     """
     allocator = Allocator(
         stand.resources, stand.connections, policy=policy, registry=registry
@@ -478,7 +506,21 @@ def compile_plan(
             signal.key, method_key, kind="alloc",
             allocation=allocation, window=window,
         ))
-    return ExecutionPlan(tuple(entries), key)
+
+    program = None
+    vm_reason = ""
+    try:
+        program = vm.compile_program(
+            script, signals, stand,
+            registry=registry, variables=variables,
+            entries=entries, key=key,
+        )
+    except vm.VmCompileError as exc:
+        vm_reason = f"{exc.op}: {exc.reason}"
+    except Exception as exc:  # noqa: BLE001 - never fail the plan for the VM
+        vm_reason = f"compiler error: {exc}"
+    return ExecutionPlan(tuple(entries), key, program=program,
+                         vm_reason=vm_reason)
 
 
 # ---------------------------------------------------------------------------
@@ -491,11 +533,16 @@ class PlanCacheStats:
     ``plan_hits`` / ``plan_misses`` count run-level lookups (a miss
     compiles); ``action_replays`` / ``action_fallbacks`` count individual
     allocator visits served from a plan vs. falling back to full search.
+    ``vm_runs`` / ``alloc_only_runs`` split the runs a plan served into
+    full-VM executions and classic runs that replayed allocations only;
+    ``vm_degraded`` counts runs whose program existed but failed the
+    bind/prologue self-check and degraded to the classic path.
     """
 
     __slots__ = (
         "plans_compiled", "plan_hits", "plan_misses",
         "action_replays", "action_fallbacks",
+        "vm_runs", "vm_degraded", "alloc_only_runs",
     )
 
     def __init__(self) -> None:
@@ -507,6 +554,9 @@ class PlanCacheStats:
         self.plan_misses = 0
         self.action_replays = 0
         self.action_fallbacks = 0
+        self.vm_runs = 0
+        self.vm_degraded = 0
+        self.alloc_only_runs = 0
 
     @property
     def hit_rate(self) -> float:
@@ -516,6 +566,16 @@ class PlanCacheStats:
             return 0.0
         return self.action_replays / total
 
+    def merge(self, snapshot: Mapping[str, float]) -> None:
+        """Fold another stats snapshot (e.g. a worker process's) into this.
+
+        ``hit_rate`` is derived, so only the raw counters accumulate.
+        """
+        for name in self.__slots__:
+            value = snapshot.get(name)
+            if value is not None:
+                setattr(self, name, getattr(self, name) + int(value))
+
     def snapshot(self) -> dict[str, float]:
         return {
             "plans_compiled": self.plans_compiled,
@@ -523,6 +583,9 @@ class PlanCacheStats:
             "plan_misses": self.plan_misses,
             "action_replays": self.action_replays,
             "action_fallbacks": self.action_fallbacks,
+            "vm_runs": self.vm_runs,
+            "vm_degraded": self.vm_degraded,
+            "alloc_only_runs": self.alloc_only_runs,
             "hit_rate": self.hit_rate,
         }
 
@@ -554,10 +617,26 @@ class PlanCache:
             self.stats.reset()
 
     def note_run(self, hits: int, misses: int) -> None:
-        """Fold one finished run's cursor counters into the statistics."""
+        """Fold one finished classic run's cursor counters into the stats."""
         with self._lock:
+            self.stats.alloc_only_runs += 1
             self.stats.action_replays += int(hits)
             self.stats.action_fallbacks += int(misses)
+
+    def note_vm_run(self) -> None:
+        """Count one run executed end-to-end by the VM fast path."""
+        with self._lock:
+            self.stats.vm_runs += 1
+
+    def note_vm_degrade(self) -> None:
+        """Count one run whose program failed its self-check pre-flight."""
+        with self._lock:
+            self.stats.vm_degraded += 1
+
+    def merge_stats(self, snapshot: Mapping[str, float]) -> None:
+        """Fold a worker process's stats delta into this cache's counters."""
+        with self._lock:
+            self.stats.merge(snapshot)
 
     def plan_for(
         self,

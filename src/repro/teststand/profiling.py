@@ -10,8 +10,10 @@ plan-cache statistics into a per-phase breakdown on stderr.
 The profiler is a process-global accumulator guarded by a lock; the serial,
 thread and async backends all report into the parent process' instance.
 Jobs dispatched to worker *processes* accumulate into the workers' own
-instances, which are discarded with the pool - the process backend therefore
-only shows the parent-side phases (expansion, execution wall, aggregation).
+instances, which each chunk ships back with its results so the parent can
+:meth:`~PhaseProfiler.merge` them - ``--profile`` therefore shows the
+allocation / instrument / VM phases under ``--backend process`` too (summed
+across workers, so they can exceed the parent's wall clock).
 
 Cost when disabled: one attribute check per action, no locking.
 """
@@ -58,6 +60,13 @@ class PhaseProfiler:
                 phase: (self._seconds[phase], self._calls.get(phase, 0))
                 for phase in self._seconds
             }
+
+    def merge(self, snapshot: dict[str, tuple[float, int]]) -> None:
+        """Fold another profiler's snapshot (e.g. a worker process's) in."""
+        with self._lock:
+            for phase, (seconds, calls) in snapshot.items():
+                self._seconds[phase] = self._seconds.get(phase, 0.0) + float(seconds)
+                self._calls[phase] = self._calls.get(phase, 0) + int(calls)
 
 
 #: Process-global profiler instance the interpreter reports into.

@@ -1,0 +1,1027 @@
+"""Script bytecode VM: the whole run compiled to a flat instruction stream.
+
+The execution plans of :mod:`repro.teststand.plan` stop at resource
+allocation - every run still walks ``Action`` objects through the
+interpreter's prepare/perform dispatch.  This module extends the compiled
+path over the *measurement loop itself*: one (script x stand-topology x
+registry x variables) combination compiles - once - into a flat stream of
+instructions
+
+========================  ====================================================
+op                        meaning
+========================  ====================================================
+``SET``                   one stimulus instrument call with pre-resolved
+                          signal, routes and instrument (``put_*``)
+``GET``                   one measurement instrument call, same operands
+                          (``get_*``)
+``WAIT``                  advance the harness clock (a ``wait`` action
+                          and/or a step's settle dt); emits one PASS
+                          result per merged ``wait`` action
+``CHECK_WINDOW``          guard: the pre-evaluated capability window of the
+                          following call must still fit (pure float
+                          comparisons, checked when the program is bound
+                          to a stand)
+``EVAL_LIMIT``            guard: the window references stand variables, so
+                          its pre-compiled limit expressions are
+                          re-evaluated against the live run variables in
+                          the run prologue
+``OPEN_CIRCUIT``          realise ``put_r r="INF"`` by disconnecting the
+                          signal's pins (pre-decided PASS outcome)
+``END_STEP``              close the current step: build its
+                          :class:`~repro.teststand.verdict.StepResult`
+========================  ====================================================
+
+followed by a peephole pass (:data:`PEEPHOLE_PASSES`):
+
+* **guard fusion** - a ``CHECK_WINDOW`` / ``EVAL_LIMIT`` immediately before
+  its ``SET`` / ``GET`` folds into that op's operand slot,
+* **settle merge** - adjacent ``WAIT`` ops (a trailing ``wait`` action and
+  the step's settle, never across ``END_STEP``) merge into one clock
+  advance that still emits every original action's PASS result,
+* **I/O batching** - consecutive ``SET`` / ``GET`` ops on the *same
+  resource* merge into one op carrying an item tuple, paying the
+  instrument's ``io_delay`` once per batch (the round trip of one chained
+  command list) instead of once per call.
+
+Execution is deliberately paranoid in the same way the allocation-plan
+cursor is: a program **binds** to a concrete stand instance (resolving
+resource keys to live instruments and re-checking every constant capability
+window against *that* stand's capability rows), and every run starts with a
+prologue that re-checks the live signal pinning and the
+variable-dependent ``EVAL_LIMIT`` guards.  Any mismatch at any of those
+points degrades **the whole run** to the classic interpreter before a
+single instruction has touched the harness - so verdict tables are
+byte-identical with the VM on or off.  Scripts the compiler cannot express
+(an allocation that fails at compile time, a non-numeric ``wait`` duration,
+an unknown signal) raise :class:`VmCompileError`; the plan then carries no
+program and every run of the combination takes the classic path, which the
+``X-UNCOMPILABLE-SCRIPT`` lint rule surfaces pre-flight.
+
+One deliberate contract makes the fast path fast: the VM hands every
+``_perform`` call one shared per-run variables dict instead of a fresh copy
+per call.  Instruments must not mutate their ``variables`` argument - which
+:meth:`~repro.instruments.Instrument._perform` has always documented.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time as _time
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+from ..core.errors import AllocationError
+from ..core.script import ScriptStep, SignalAction, TestScript
+from ..core.signals import Signal, SignalSet
+from ..methods import MethodRegistry, evaluate_call_parameter, limits_for_call
+from .allocator import Allocator
+from .stands import TestStand
+from .verdict import ActionResult, StepResult, Verdict
+
+__all__ = [
+    "VM_OPS",
+    "VmOp",
+    "VmIoItem",
+    "VmProgram",
+    "VmCompileError",
+    "VmCursor",
+    "compile_program",
+    "peephole",
+    "fuse_guards",
+    "merge_waits",
+    "batch_io",
+    "PEEPHOLE_PASSES",
+]
+
+#: The instruction set, in documentation order.
+VM_OPS = (
+    "SET", "GET", "WAIT", "CHECK_WINDOW", "OPEN_CIRCUIT", "EVAL_LIMIT",
+    "END_STEP",
+)
+
+#: How many (program x stand) bindings one stand instance memoises.
+_BINDING_CACHE_SIZE = 8
+
+
+class VmCompileError(Exception):
+    """A (script x stand) combination the VM compiler cannot express.
+
+    ``op`` names the instruction that could not be generated (e.g.
+    ``"SET door_fl:put_r"``); ``reason`` says why.  Both feed the
+    ``X-UNCOMPILABLE-SCRIPT`` lint rule and the plan's ``vm_reason``.
+    """
+
+    def __init__(self, op: str, reason: str):
+        self.op = op
+        self.reason = reason
+        super().__init__(f"{op}: {reason}")
+
+
+class VmIoItem:
+    """One pre-resolved instrument call inside a ``SET`` / ``GET`` op."""
+
+    __slots__ = ("action", "signal", "allocation", "window", "dynamic",
+                 "attribute")
+
+    def __init__(self, action: SignalAction, signal: Signal, allocation,
+                 attribute: str | None = None):
+        self.action = action
+        self.signal = signal
+        self.allocation = allocation
+        #: Pre-evaluated capability window (``(capability, nominal,
+        #: acceptance)``) fused from the preceding guard op, or ``None``.
+        self.window = None
+        #: ``True`` when the window references stand variables and must be
+        #: re-evaluated per run (the ``EVAL_LIMIT`` guard).
+        self.dynamic = False
+        #: The method's principal attribute (``"u"``, ``"r"``, ...) from
+        #: the registry, used to pre-evaluate the call's nominal value and
+        #: acceptance limits per run; ``None`` when the registry does not
+        #: know the method (the instrument then evaluates on its own).
+        self.attribute = attribute
+
+    def __repr__(self) -> str:
+        return f"VmIoItem({self.signal.key}:{self.action.method})"
+
+
+class VmOp:
+    """One instruction of a :class:`VmProgram` (operands vary by ``code``)."""
+
+    __slots__ = (
+        "code", "items", "resource_key", "duration", "emits",
+        "action", "signal", "outcome", "window", "dynamic",
+        "number", "remark",
+    )
+
+    def __init__(self, code: str, **operands):
+        self.code = code
+        self.items: tuple[VmIoItem, ...] = operands.get("items", ())
+        self.resource_key: str = operands.get("resource_key", "")
+        self.duration: float = operands.get("duration", 0.0)
+        self.emits: tuple[SignalAction, ...] = operands.get("emits", ())
+        self.action = operands.get("action")
+        self.signal = operands.get("signal")
+        self.outcome = operands.get("outcome")
+        self.window = operands.get("window")
+        self.dynamic: bool = operands.get("dynamic", False)
+        self.number: int = operands.get("number", 0)
+        self.remark: str = operands.get("remark", "")
+
+    def __repr__(self) -> str:
+        if self.code in ("SET", "GET"):
+            calls = ",".join(f"{i.signal.key}:{i.action.method}" for i in self.items)
+            return f"VmOp({self.code} {self.resource_key} [{calls}])"
+        if self.code == "WAIT":
+            return f"VmOp(WAIT {self.duration:g}s emits={len(self.emits)})"
+        if self.code == "END_STEP":
+            return f"VmOp(END_STEP {self.number})"
+        return f"VmOp({self.code})"
+
+
+class VmProgram:
+    """The compiled instruction stream of one plan, shared across stands.
+
+    ``ops`` is the (peephole-optimised) flat stream; ``setup_size`` many
+    leading instructions belong to the script's setup segment, the rest are
+    step segments each closed by an ``END_STEP``.  ``raw_op_count`` keeps
+    the pre-peephole instruction count for statistics and tests.  Programs
+    hold only content-safe operands (signals, calls, allocations, windows)
+    - live instruments are resolved per stand instance by the binding step.
+    """
+
+    __slots__ = ("ops", "setup_size", "key", "raw_op_count")
+
+    def __init__(self, ops: tuple[VmOp, ...], setup_size: int, *,
+                 key: tuple = (), raw_op_count: int = 0):
+        self.ops = tuple(ops)
+        self.setup_size = int(setup_size)
+        self.key = key
+        self.raw_op_count = int(raw_op_count) or len(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return (f"VmProgram({len(self.ops)} ops, "
+                f"{self.raw_op_count} before peephole)")
+
+
+# ---------------------------------------------------------------------------
+# Peephole pass
+# ---------------------------------------------------------------------------
+
+def fuse_guards(ops: list[VmOp]) -> list[VmOp]:
+    """Fold each ``CHECK_WINDOW`` / ``EVAL_LIMIT`` into the following I/O op.
+
+    The guard becomes the item's ``window`` / ``dynamic`` operand; the
+    binding (constant windows) and the run prologue (dynamic windows)
+    evaluate it from there.  A guard not followed by a single-item I/O op
+    is kept standalone - the executor then treats it as a pure prologue
+    check.
+    """
+    out: list[VmOp] = []
+    pending: VmOp | None = None
+    for op in ops:
+        if op.code in ("CHECK_WINDOW", "EVAL_LIMIT"):
+            if pending is not None:
+                out.append(pending)
+            pending = op
+            continue
+        if pending is not None:
+            if op.code in ("SET", "GET") and len(op.items) == 1:
+                item = op.items[0]
+                item.window = pending.window
+                item.dynamic = pending.code == "EVAL_LIMIT"
+            else:
+                out.append(pending)
+            pending = None
+        out.append(op)
+    if pending is not None:
+        out.append(pending)
+    return out
+
+
+def merge_waits(ops: list[VmOp]) -> list[VmOp]:
+    """Merge adjacent ``WAIT`` ops into one summed clock advance.
+
+    Fires when ``wait`` actions trail the stimuli of a step (they become
+    adjacent to the step's settle ``WAIT``) or follow each other directly.
+    The merged op advances once and still emits one PASS result per
+    original ``wait`` action, in order.  ``END_STEP`` is never crossed, so
+    step start times stay exact.
+    """
+    out: list[VmOp] = []
+    for op in ops:
+        if op.code == "WAIT" and out and out[-1].code == "WAIT":
+            previous = out[-1]
+            out[-1] = VmOp(
+                "WAIT",
+                duration=previous.duration + op.duration,
+                emits=previous.emits + op.emits,
+            )
+            continue
+        out.append(op)
+    return out
+
+
+def batch_io(ops: list[VmOp]) -> list[VmOp]:
+    """Merge consecutive I/O ops on the same resource into one batch op.
+
+    The batch carries every call as an item, executed strictly in order;
+    the instrument's ``io_delay`` is paid once per batch - the round trip
+    of one chained command list.  Verdicts cannot drift: each item still
+    performs its own call and records its own result.
+    """
+    out: list[VmOp] = []
+    for op in ops:
+        if (op.code in ("SET", "GET") and out
+                and out[-1].code in ("SET", "GET")
+                and out[-1].resource_key == op.resource_key):
+            previous = out[-1]
+            out[-1] = VmOp(
+                previous.code,
+                resource_key=previous.resource_key,
+                items=previous.items + op.items,
+            )
+            continue
+        out.append(op)
+    return out
+
+
+#: The peephole rewrites, applied per segment in this order.
+PEEPHOLE_PASSES = (fuse_guards, merge_waits, batch_io)
+
+
+def peephole(ops: list[VmOp]) -> list[VmOp]:
+    """Apply every peephole rewrite to one segment's op list."""
+    for rewrite in PEEPHOLE_PASSES:
+        ops = rewrite(ops)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Compiler: plan entries + script structure -> instruction stream
+# ---------------------------------------------------------------------------
+
+def _window_is_dynamic(action: SignalAction, attribute: str) -> bool:
+    """Whether the action's window parameters reference stand variables."""
+    for suffix in ("", "_min", "_max"):
+        raw = action.call.param(attribute + suffix)
+        if raw is None:
+            continue
+        try:
+            float(raw)
+        except (TypeError, ValueError):
+            return True
+    return False
+
+
+def compile_program(
+    script: TestScript,
+    signals: SignalSet,
+    stand: TestStand,
+    *,
+    registry: MethodRegistry,
+    variables: Mapping[str, float],
+    entries: Sequence,
+    key: tuple = (),
+    optimize: bool = True,
+) -> VmProgram:
+    """Compile *script* into a :class:`VmProgram` over its plan *entries*.
+
+    Walks the interpreter's exact execution order (setup, then per step all
+    stimuli, the settle, all expectations) and consumes the allocation
+    plan's entries in lock-step.  Raises :class:`VmCompileError` - with the
+    failing op and reason - for anything the VM cannot express: a ``fail``
+    plan entry (the run must reproduce the full search's error message), a
+    non-numeric ``wait`` duration (the run must raise exactly like the
+    classic path), an unknown signal (the run must produce the classic
+    per-action ERROR), or a plan/script divergence.
+
+    Peephole optimisation is applied per segment (setup and each step
+    separately), so batches and merges never cross a segment boundary;
+    ``optimize=False`` returns the raw stream for tests and inspection.
+    """
+    # Imported lazily: plan.py imports this module at its top level.
+    from .plan import PlanEntry, action_is_measurement  # noqa: F401
+
+    entry_iter = iter(entries)
+
+    def compile_action(action: SignalAction) -> list[VmOp]:
+        method_key = action.method.lower()
+        is_measurement = action_is_measurement(registry, action.method)
+        opname = "GET" if is_measurement else "SET"
+        where = f"{opname} {str(action.signal).lower()}:{method_key}"
+        try:
+            signal = signals.get(action.signal)
+        except Exception as exc:
+            raise VmCompileError(where, f"unknown signal: {exc}")
+        if method_key == "wait":
+            raw = action.call.param("t", "0") or 0
+            try:
+                duration = float(raw)
+            except (TypeError, ValueError):
+                raise VmCompileError(
+                    f"WAIT {signal.key}:wait",
+                    f"duration t={raw!r} is not numeric",
+                )
+            return [VmOp("WAIT", duration=duration, emits=(action,))]
+        entry = next(entry_iter, None)
+        if (entry is None or entry.signal_key != signal.key
+                or entry.method_key != method_key):
+            raise VmCompileError(
+                where, "allocation plan diverged from the script walk"
+            )
+        if entry.kind == "open":
+            return [VmOp("OPEN_CIRCUIT", action=action, signal=signal,
+                         outcome=entry.outcome)]
+        if entry.kind == "fail":
+            raise VmCompileError(
+                where,
+                "no resource allocatable at compile time (the run must "
+                "reproduce the full search's error)",
+            )
+        ops: list[VmOp] = []
+        if entry.window is not None:
+            capability = entry.window[0]
+            dynamic = _window_is_dynamic(action, capability.attribute)
+            ops.append(VmOp(
+                "EVAL_LIMIT" if dynamic else "CHECK_WINDOW",
+                window=entry.window, action=action, signal=signal,
+                dynamic=dynamic,
+            ))
+        try:
+            attribute = registry.get(action.method).attribute
+        except Exception:
+            attribute = None
+        item = VmIoItem(action, signal, entry.allocation,
+                        attribute=attribute)
+        ops.append(VmOp(opname, resource_key=entry.allocation.resource,
+                        items=(item,)))
+        return ops
+
+    def compile_step(step: ScriptStep) -> list[VmOp]:
+        stimuli: list[SignalAction] = []
+        expectations: list[SignalAction] = []
+        for action in step.actions:
+            if action_is_measurement(registry, action.method):
+                expectations.append(action)
+            else:
+                stimuli.append(action)
+        ops: list[VmOp] = []
+        for action in stimuli:
+            ops.extend(compile_action(action))
+        ops.append(VmOp("WAIT", duration=step.duration))
+        for action in expectations:
+            ops.extend(compile_action(action))
+        ops.append(VmOp("END_STEP", number=step.number,
+                        duration=step.duration, remark=step.remark))
+        return ops
+
+    raw_count = 0
+
+    def finish(ops: list[VmOp]) -> list[VmOp]:
+        nonlocal raw_count
+        raw_count += len(ops)
+        return peephole(ops) if optimize else ops
+
+    setup_ops: list[VmOp] = []
+    for action in script.setup:
+        setup_ops.extend(compile_action(action))
+    setup_ops = finish(setup_ops)
+
+    ops = list(setup_ops)
+    for step in script.steps:
+        ops.extend(finish(compile_step(step)))
+
+    leftover = next(entry_iter, None)
+    if leftover is not None:
+        raise VmCompileError(
+            f"{leftover.signal_key}:{leftover.method_key}",
+            "allocation plan has entries the script walk never reached",
+        )
+    return VmProgram(tuple(ops), len(setup_ops), key=key,
+                     raw_op_count=raw_count)
+
+
+# ---------------------------------------------------------------------------
+# Binding: program x stand instance -> executable stream
+# ---------------------------------------------------------------------------
+
+# Executable opcodes (tuple-based for dispatch speed in the run loop).
+_X_IO = 0
+_X_WAIT = 1
+_X_OPEN = 2
+_X_END = 3
+
+
+class VmBinding:
+    """One program resolved against one concrete stand instance.
+
+    ``ops`` is the executable stream: plain tuples whose first element is
+    an ``_X_*`` opcode, with live instrument references and pre-computed
+    bookkeeping operands.  ``signal_shapes`` holds the compiled pinning
+    the run prologue re-checks against the live signal set;
+    ``dynamic_guards`` the ``EVAL_LIMIT`` windows re-evaluated against the
+    run's variables (``guard_memo`` caches the verdict per variables
+    shape - campaign runs repeat the same variables, so the evaluation
+    happens once, while a genuinely new shape re-evaluates).
+    """
+
+    __slots__ = ("ops", "setup_size", "signal_shapes", "dynamic_guards",
+                 "guard_memo", "signals_ok", "prepared_memo")
+
+    def __init__(self, ops, setup_size, signal_shapes, dynamic_guards):
+        self.ops = ops
+        self.setup_size = setup_size
+        self.signal_shapes = signal_shapes
+        self.dynamic_guards = dynamic_guards
+        self.guard_memo: dict[tuple, bool] = {}
+        #: Pre-evaluated ``(nominal, limits)`` operand pairs per variables
+        #: shape, aligned with the flat I/O item order; handed to
+        #: ``Instrument._perform`` so instruments skip re-evaluating the
+        #: same parameter expressions on every run.
+        self.prepared_memo: dict[tuple, tuple] = {}
+        #: Signal sets whose live pinning already matched ``signal_shapes``.
+        #: Sound as an identity memo: ``Signal`` is frozen and a
+        #: ``SignalSet`` only ever *gains* keys (duplicates raise), so a
+        #: set that matched once matches forever.  Strong references keep
+        #: ``is`` honest against id reuse.
+        self.signals_ok: list = []
+
+
+#: Per-instrument-class memo: does ``_perform`` take the ``prepared``
+#: keyword?  The bundled instruments all do; a third-party subclass with
+#: the five-argument signature simply never receives pre-evaluated
+#: operands and keeps working unchanged.
+_PREPARED_PROBE: dict[type, bool] = {}
+
+
+def _accepts_prepared(cls: type) -> bool:
+    accepts = _PREPARED_PROBE.get(cls)
+    if accepts is None:
+        try:
+            accepts = "prepared" in inspect.signature(cls._perform).parameters
+        except (TypeError, ValueError):
+            accepts = False
+        _PREPARED_PROBE[cls] = accepts
+    return accepts
+
+
+def _prepare_operands(binding: "VmBinding", variables: Mapping[str, float]) -> tuple:
+    """Pre-evaluate every I/O item's ``(nominal, limits)`` pair.
+
+    One entry per item in flat stream order, ``None`` when the item's
+    instrument cannot take pre-evaluated operands or nothing evaluates.
+    Evaluation errors leave the slot ``None`` so the instrument re-runs
+    the evaluation itself and raises exactly like the classic path.
+    """
+    out = []
+    for op in binding.ops:
+        if op[0] != _X_IO:
+            continue
+        accepts = op[5]
+        for item in op[4]:
+            attribute = item[8]
+            if not accepts or attribute is None:
+                out.append(None)
+                continue
+            call = item[1]
+            try:
+                nominal = evaluate_call_parameter(call, attribute, variables)
+            except Exception:
+                nominal = None
+            try:
+                limits = limits_for_call(call, attribute, variables)
+            except Exception:
+                limits = None
+            if nominal is None and limits is None:
+                out.append(None)
+            else:
+                out.append((nominal, limits))
+    return tuple(out)
+
+
+def _bind(program: VmProgram, stand: TestStand) -> VmBinding | None:
+    """Resolve *program* against *stand*, or ``None`` when it does not fit.
+
+    Re-checks, against this concrete stand instance, everything that is
+    constant per (program x stand): every resource key resolves, every
+    instrument still supports its method, and every constant
+    (``CHECK_WINDOW``) capability window still fits the instrument's
+    capability row.  Variable-dependent (``EVAL_LIMIT``) windows are
+    collected for the per-run prologue instead.
+    """
+    bound: list[tuple] = []
+    setup_size = 0
+    signal_shapes: dict[str, tuple] = {}
+    dynamic_guards: list[tuple] = []
+
+    def note_signal(signal: Signal) -> None:
+        signal_shapes.setdefault(signal.key, (
+            tuple(p.lower() for p in signal.pins),
+            bool(signal.is_bus),
+            str(signal.message).lower() if signal.message else None,
+        ))
+
+    def check_window(window, resource, method: str) -> bool:
+        if window is None:
+            return True
+        _, nominal, acceptance = window
+        try:
+            capability = resource.capability_for(method)
+        except Exception:
+            return False
+        return capability.can_serve(nominal, acceptance)
+
+    for index, op in enumerate(program.ops):
+        code = op.code
+        if code in ("SET", "GET"):
+            try:
+                resource = stand.resources.get(op.resource_key)
+            except AllocationError:
+                return None
+            instrument = resource.instrument
+            items = []
+            for item in op.items:
+                note_signal(item.signal)
+                if item.dynamic:
+                    dynamic_guards.append(
+                        (resource, item.action.call, item.window))
+                elif not check_window(item.window, resource,
+                                      item.action.method):
+                    return None
+                allocation = item.allocation
+                items.append((
+                    item.action,
+                    item.action.call,
+                    item.signal,
+                    allocation.pins,
+                    item.signal.key,
+                    allocation.routes,
+                    allocation.persistent,
+                    allocation,
+                    item.attribute,
+                ))
+            bound.append((_X_IO, instrument, instrument._perform,
+                          resource.key, tuple(items),
+                          _accepts_prepared(type(instrument))))
+        elif code == "WAIT":
+            bound.append((_X_WAIT, op.duration, op.emits))
+        elif code == "OPEN_CIRCUIT":
+            note_signal(op.signal)
+            bound.append((_X_OPEN, op.action, op.signal.key,
+                          op.signal.pins, op.outcome))
+        elif code == "END_STEP":
+            bound.append((_X_END, op.number, op.duration, op.remark))
+        elif code in ("CHECK_WINDOW", "EVAL_LIMIT"):
+            # Standalone guard: only unoptimised programs carry these
+            # (``fuse_guards`` folds every guard into its I/O op).  A
+            # constant window is checked here against its compile-time
+            # capability; a dynamic one has no resolvable resource without
+            # its I/O op, so the bind conservatively refuses.
+            if op.dynamic:
+                return None
+            _, nominal, acceptance = op.window
+            if not op.window[0].can_serve(nominal, acceptance):
+                return None
+            # No executable footprint.
+        else:  # pragma: no cover - unknown op means a compiler bug
+            return None
+        if index + 1 == program.setup_size:
+            setup_size = len(bound)
+    if program.setup_size == 0:
+        setup_size = 0
+    return VmBinding(tuple(bound), setup_size, signal_shapes,
+                     tuple(dynamic_guards))
+
+
+def binding_for(program: VmProgram, stand: TestStand) -> VmBinding | None:
+    """The memoised binding of *program* on *stand* (``None`` = no fit).
+
+    Bindings are cached on the stand instance keyed by the program's plan
+    key with an identity re-check (plan keys are content fingerprints, but
+    a program evicted and recompiled must re-bind).  Failed binds are
+    memoised too - a stand that cannot carry the program today cannot
+    carry it on the next run either.
+    """
+    cache: OrderedDict | None = stand.__dict__.get("_vm_bindings")
+    if cache is None:
+        cache = stand.__dict__["_vm_bindings"] = OrderedDict()
+    cached = cache.get(program.key)
+    if cached is not None and cached[0] is program:
+        cache.move_to_end(program.key)
+        return cached[1]
+    binding = _bind(program, stand)
+    cache[program.key] = (program, binding)
+    while len(cache) > _BINDING_CACHE_SIZE:
+        cache.popitem(last=False)
+    return binding
+
+
+# ---------------------------------------------------------------------------
+# The cursor: one run of one bound program
+# ---------------------------------------------------------------------------
+
+class VmCursor:
+    """Executes one bound program for one run, self-distrusting throughout.
+
+    Mirrors the allocation plan's :class:`~repro.teststand.plan.PlanCursor`
+    contract at run granularity: :meth:`validate` re-checks everything the
+    compiled operands assume about *this* run (live signal pinning,
+    variable-dependent capability windows) and returns ``False`` - before
+    any instruction has executed - when the program cannot be trusted; the
+    interpreter then runs the classic path and the verdicts stay
+    byte-identical.  :meth:`execute` / :meth:`aexecute` are the sync/async
+    twins of the instruction loop.
+    """
+
+    __slots__ = ("binding", "allocator", "harness", "signals",
+                 "stop_on_error", "_prepared")
+
+    def __init__(
+        self,
+        program: VmProgram,
+        stand: TestStand,
+        *,
+        signals: SignalSet,
+        allocator: Allocator,
+        harness,
+        stop_on_error: bool = False,
+    ):
+        self.binding = binding_for(program, stand)
+        self.signals = signals
+        self.allocator = allocator
+        self.harness = harness
+        self.stop_on_error = bool(stop_on_error)
+        self._prepared: tuple = ()
+
+    def validate(self, variables: Mapping[str, float]) -> bool:
+        """Run prologue: may this run trust the compiled operands?
+
+        Checks the live signal pinning against the compiled shapes (a
+        re-pinned adapter must degrade); a :class:`SignalSet` *instance*
+        that matched once is memoised by identity, which is sound because
+        signal sets are grow-only and signals immutable.  The ``EVAL_LIMIT``
+        guards once per distinct variables shape: their limit expressions
+        are re-evaluated through
+        :meth:`~repro.teststand.allocator.Allocator.capability_window`
+        with the live variables and the verdict memoised - all runs served
+        by one cached plan share the variables that are part of its cache
+        key, so campaigns pay the evaluation once per binding.
+        """
+        binding = self.binding
+        if binding is None:
+            return False
+        signals = self.signals
+        for seen in binding.signals_ok:
+            if seen is signals:
+                break
+        else:
+            for key, shape in binding.signal_shapes.items():
+                try:
+                    live = signals.get(key)
+                except Exception:
+                    return False
+                if (tuple(p.lower() for p in live.pins), bool(live.is_bus),
+                        str(live.message).lower() if live.message else None
+                        ) != shape:
+                    return False
+            if len(binding.signals_ok) >= 4:
+                del binding.signals_ok[0]
+            binding.signals_ok.append(signals)
+        memo_key = tuple(sorted(variables.items()))
+        if binding.dynamic_guards:
+            verdict = binding.guard_memo.get(memo_key)
+            if verdict is None:
+                verdict = self._evaluate_guards(variables)
+                if len(binding.guard_memo) >= 8:
+                    binding.guard_memo.clear()
+                binding.guard_memo[memo_key] = verdict
+            if not verdict:
+                return False
+        prepared = binding.prepared_memo.get(memo_key)
+        if prepared is None:
+            prepared = _prepare_operands(binding, variables)
+            if len(binding.prepared_memo) >= 8:
+                binding.prepared_memo.clear()
+            binding.prepared_memo[memo_key] = prepared
+        self._prepared = prepared
+        return True
+
+    def _evaluate_guards(self, variables: Mapping[str, float]) -> bool:
+        """Re-evaluate every ``EVAL_LIMIT`` window with *variables*."""
+        for resource, call, _window in self.binding.dynamic_guards:
+            window = self.allocator.capability_window(
+                resource, call, variables)
+            if window is None:
+                continue  # nothing to range-check: the classic path passes
+            capability, nominal, acceptance = window
+            if not capability.can_serve(nominal, acceptance):
+                return False
+        return True
+
+    # The sync and async loops are hand-duplicated, like run()/arun(): this
+    # is the hot path, and routing every op through a shared coroutine
+    # would cost more than the duplication saves in maintenance.
+
+    def execute(
+        self, variables: Mapping[str, float]
+    ) -> tuple[list[ActionResult], list[StepResult]]:
+        """Execute the whole program; returns (setup results, step results)."""
+        binding = self.binding
+        ops = binding.ops
+        harness = self.harness
+        allocator = self.allocator
+        register = allocator.register_planned
+        stop = self.stop_on_error
+        run_vars = dict(variables)
+        error = Verdict.ERROR
+        passed = Verdict.PASS
+        failed = Verdict.FAIL
+
+        setup_results: list[ActionResult] = []
+        aborted = False
+        index = 0
+        pi = 0
+        prepared = self._prepared
+        setup_size = binding.setup_size
+        while index < setup_size:
+            op = ops[index]
+            index += 1
+            code = op[0]
+            if code == _X_IO:
+                _, instrument, perform, resource_key, items, _ = op
+                delay = instrument.io_delay
+                if delay > 0.0:
+                    _time.sleep(delay)
+                for (action, call, signal, pins, signal_key, routes,
+                     persistent, allocation, _attr) in items:
+                    pre = prepared[pi]
+                    pi += 1
+                    register(signal_key, resource_key, routes, persistent)
+                    try:
+                        if pre is not None:
+                            outcome = perform(call, signal, pins, harness,
+                                              run_vars, prepared=pre)
+                        else:
+                            outcome = perform(call, signal, pins, harness,
+                                              run_vars)
+                    except Exception as exc:
+                        setup_results.append(ActionResult(
+                            action, error, allocation=allocation,
+                            error=str(exc)))
+                        if stop:
+                            aborted = True
+                            break
+                        continue
+                    setup_results.append(ActionResult(
+                        action, passed if outcome.passed else failed,
+                        outcome=outcome, allocation=allocation))
+                if aborted:
+                    break
+            elif code == _X_WAIT:
+                harness.advance(op[1])
+                for action in op[2]:
+                    setup_results.append(ActionResult(action, passed))
+            elif code == _X_OPEN:
+                _, action, signal_key, pins, outcome = op
+                allocator.release(signal_key)
+                for pin in pins:
+                    harness.release_resistance(pin)
+                setup_results.append(ActionResult(action, passed,
+                                                  outcome=outcome))
+
+        steps: list[StepResult] = []
+        if not aborted:
+            n = len(ops)
+            step_results: list[ActionResult] = []
+            start_time = harness.now
+            while index < n:
+                op = ops[index]
+                index += 1
+                code = op[0]
+                if code == _X_IO:
+                    _, instrument, perform, resource_key, items, _ = op
+                    delay = instrument.io_delay
+                    if delay > 0.0:
+                        _time.sleep(delay)
+                    for (action, call, signal, pins, signal_key, routes,
+                         persistent, allocation, _attr) in items:
+                        pre = prepared[pi]
+                        pi += 1
+                        register(signal_key, resource_key, routes,
+                                 persistent)
+                        try:
+                            if pre is not None:
+                                outcome = perform(call, signal, pins,
+                                                  harness, run_vars,
+                                                  prepared=pre)
+                            else:
+                                outcome = perform(call, signal, pins,
+                                                  harness, run_vars)
+                        except Exception as exc:
+                            step_results.append(ActionResult(
+                                action, error, allocation=allocation,
+                                error=str(exc)))
+                            continue
+                        step_results.append(ActionResult(
+                            action, passed if outcome.passed else failed,
+                            outcome=outcome, allocation=allocation))
+                elif code == _X_WAIT:
+                    harness.advance(op[1])
+                    for action in op[2]:
+                        step_results.append(ActionResult(action, passed))
+                elif code == _X_END:
+                    result = StepResult(
+                        number=op[1], duration=op[2],
+                        actions=tuple(step_results), remark=op[3],
+                        start_time=start_time,
+                    )
+                    steps.append(result)
+                    if stop and result.verdict is error:
+                        break
+                    step_results = []
+                    start_time = harness.now
+                elif code == _X_OPEN:
+                    _, action, signal_key, pins, outcome = op
+                    allocator.release(signal_key)
+                    for pin in pins:
+                        harness.release_resistance(pin)
+                    step_results.append(ActionResult(action, passed,
+                                                     outcome=outcome))
+        return setup_results, steps
+
+    async def aexecute(
+        self, variables: Mapping[str, float]
+    ) -> tuple[list[ActionResult], list[StepResult]]:
+        """Awaitable twin of :meth:`execute`: batch latency is awaited.
+
+        One ``await asyncio.sleep(io_delay)`` per I/O batch (not per call)
+        keeps the async backend's multiplexing semantics: the event loop
+        interleaves other jobs while this stand's chained command list is
+        in flight.
+        """
+        binding = self.binding
+        ops = binding.ops
+        harness = self.harness
+        allocator = self.allocator
+        register = allocator.register_planned
+        stop = self.stop_on_error
+        run_vars = dict(variables)
+        error = Verdict.ERROR
+        passed = Verdict.PASS
+        failed = Verdict.FAIL
+
+        setup_results: list[ActionResult] = []
+        aborted = False
+        index = 0
+        pi = 0
+        prepared = self._prepared
+        setup_size = binding.setup_size
+        while index < setup_size:
+            op = ops[index]
+            index += 1
+            code = op[0]
+            if code == _X_IO:
+                _, instrument, perform, resource_key, items, _ = op
+                delay = instrument.io_delay
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+                for (action, call, signal, pins, signal_key, routes,
+                     persistent, allocation, _attr) in items:
+                    pre = prepared[pi]
+                    pi += 1
+                    register(signal_key, resource_key, routes, persistent)
+                    try:
+                        if pre is not None:
+                            outcome = perform(call, signal, pins, harness,
+                                              run_vars, prepared=pre)
+                        else:
+                            outcome = perform(call, signal, pins, harness,
+                                              run_vars)
+                    except Exception as exc:
+                        setup_results.append(ActionResult(
+                            action, error, allocation=allocation,
+                            error=str(exc)))
+                        if stop:
+                            aborted = True
+                            break
+                        continue
+                    setup_results.append(ActionResult(
+                        action, passed if outcome.passed else failed,
+                        outcome=outcome, allocation=allocation))
+                if aborted:
+                    break
+            elif code == _X_WAIT:
+                harness.advance(op[1])
+                for action in op[2]:
+                    setup_results.append(ActionResult(action, passed))
+            elif code == _X_OPEN:
+                _, action, signal_key, pins, outcome = op
+                allocator.release(signal_key)
+                for pin in pins:
+                    harness.release_resistance(pin)
+                setup_results.append(ActionResult(action, passed,
+                                                  outcome=outcome))
+
+        steps: list[StepResult] = []
+        if not aborted:
+            n = len(ops)
+            step_results: list[ActionResult] = []
+            start_time = harness.now
+            while index < n:
+                op = ops[index]
+                index += 1
+                code = op[0]
+                if code == _X_IO:
+                    _, instrument, perform, resource_key, items, _ = op
+                    delay = instrument.io_delay
+                    if delay > 0.0:
+                        await asyncio.sleep(delay)
+                    for (action, call, signal, pins, signal_key, routes,
+                         persistent, allocation, _attr) in items:
+                        pre = prepared[pi]
+                        pi += 1
+                        register(signal_key, resource_key, routes,
+                                 persistent)
+                        try:
+                            if pre is not None:
+                                outcome = perform(call, signal, pins,
+                                                  harness, run_vars,
+                                                  prepared=pre)
+                            else:
+                                outcome = perform(call, signal, pins,
+                                                  harness, run_vars)
+                        except Exception as exc:
+                            step_results.append(ActionResult(
+                                action, error, allocation=allocation,
+                                error=str(exc)))
+                            continue
+                        step_results.append(ActionResult(
+                            action, passed if outcome.passed else failed,
+                            outcome=outcome, allocation=allocation))
+                elif code == _X_WAIT:
+                    harness.advance(op[1])
+                    for action in op[2]:
+                        step_results.append(ActionResult(action, passed))
+                elif code == _X_END:
+                    result = StepResult(
+                        number=op[1], duration=op[2],
+                        actions=tuple(step_results), remark=op[3],
+                        start_time=start_time,
+                    )
+                    steps.append(result)
+                    if stop and result.verdict is error:
+                        break
+                    step_results = []
+                    start_time = harness.now
+                elif code == _X_OPEN:
+                    _, action, signal_key, pins, outcome = op
+                    allocator.release(signal_key)
+                    for pin in pins:
+                        harness.release_resistance(pin)
+                    step_results.append(ActionResult(action, passed,
+                                                     outcome=outcome))
+        return setup_results, steps

@@ -83,6 +83,16 @@ class TestDocsMatchCode:
             assert (REPO_ROOT / "src" / "repro" / module).exists() or \
                 (REPO_ROOT / "src" / "repro" / f"{module}.py").exists()
 
+    def test_execution_vm_doc_names_real_ops(self):
+        """The VM doc's instruction table must list the real opcode set."""
+        doc = (REPO_ROOT / "docs" / "execution-vm.md").read_text()
+        from repro.teststand.vm import VM_OPS
+        for op in VM_OPS:
+            assert f"`{op}`" in doc
+        assert "X-UNCOMPILABLE-SCRIPT" in doc
+        architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        assert "execution-vm.md" in architecture
+
     def test_writing_a_dut_cribs_from_real_apis(self):
         guide = (REPO_ROOT / "docs" / "writing-a-dut.md").read_text()
         from repro.analysis.faults import FaultCatalogue, FaultModel  # noqa: F401

@@ -133,6 +133,22 @@ def ghost_pin_suite():
                       signals=ghost_pin_signals())
 
 
+def phantom_signal_suite():
+    """Seeded VM gap: the sheet drives a signal the DUT's own signal sheet
+    lacks.  The suite carries the extra signal so it compiles, but at run
+    time resolution fails per action (classic path: per-action ERROR) and
+    the bytecode VM refuses the whole combination at compile time."""
+    signals = SignalSet(
+        tuple(paper_signal_set()) + (
+            Signal("PHANTOM", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("INT_ILL_F",), initial_status="Lo"),
+        ),
+        dut="interior_light_ecu",
+    )
+    return _toy_suite((), [(0.5, {"DS_FL": "Open", "PHANTOM": "Lo"})],
+                      signals=signals)
+
+
 class ToyMaskedDoorEcu(InteriorLightEcu):
     """The paper's masking fault shape: DS_FR dropped from the door scan."""
 
@@ -441,6 +457,31 @@ def test_unstorable_baseline_fault_collision_warns(toy_dut):
     assert findings[0].location == "fault:Baseline"
     assert "'baseline'" in findings[0].message
     assert report.exit_code == 1
+
+
+def test_uncompilable_script_seeded_defect_warns(toy_dut):
+    toy_dut("toy_vm_gap", suite_factory=phantom_signal_suite)
+    report = run_lint(duts=["toy_vm_gap"], rules=["X-UNCOMPILABLE-SCRIPT"])
+    findings = _findings(report, "X-UNCOMPILABLE-SCRIPT")
+    # One finding per eligible stand: the defect is in the sheet, so no
+    # stand can compile it.
+    assert findings
+    assert all(f.severity == "warning" for f in findings)
+    assert all(f.location.startswith("sheet:toy_sheet stand:")
+               for f in findings)
+    assert "unknown signal" in findings[0].message
+    assert "classic interpreter" in findings[0].message
+    assert report.exit_code == 1
+
+
+def test_uncompilable_script_skips_unservable_pairs(toy_dut):
+    """An unallocatable step is R-UNSERVABLE-STEP territory: the classic
+    path errors identically, so the VM rule must stay quiet about it."""
+    toy_dut("toy_vm_unservable", suite_factory=unservable_suite)
+    report = run_lint(duts=["toy_vm_unservable"],
+                      rules=["X-UNCOMPILABLE-SCRIPT"])
+    assert report.findings == ()
+    assert report.exit_code == 0
 
 
 # ---------------------------------------------------------------------------

@@ -100,9 +100,11 @@ class TestPlanDeterminism:
         script = _paper_script()
         stand = build_paper_stand()
         for _ in range(3):
+            # use_vm=False: this test counts PlanCursor replays; the VM
+            # fast path would serve the runs without touching the cursor.
             TestStandInterpreter(
                 stand, interior_harness(InteriorLightEcu()), paper_signal_set(),
-                plan_cache=cache,
+                plan_cache=cache, use_vm=False,
             ).run(script)
         stats = cache.stats.snapshot()
         assert stats["plans_compiled"] == 1

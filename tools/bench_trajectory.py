@@ -2,12 +2,14 @@
 """Perf trajectory harness: run the executor benchmarks, append to BENCH_executor.json.
 
 Every PR that touches the execution hot path should leave a data point
-behind.  This tool runs quick variants of the repository's four
+behind.  This tool runs quick variants of the repository's five
 executor-economics benchmarks -
 
 * **plan_cache** (the E4 family workload): the whole body-electronics
   family campaigned serially, once with execution plans + stand reuse off
   and once with them on - the compile-once-run-many headline number,
+* **vm** (PR 8): the same family workload, plan replay only vs. the
+  bytecode VM fast path riding on it,
 * **executor_scaling** (A3): one DUT campaign serial vs. a 4-worker
   thread pool,
 * **portability** (E1): the paper suite across all three bundled stands,
@@ -21,8 +23,9 @@ commits (schema 2: ``{"schema", "benchmark", "latest", "trajectory"}``,
 newest point last and mirrored under ``latest``; a legacy schema-1
 single-point file is migrated in place).  CI runs ``--quick`` on every
 push, uploads the file as an artifact and **fails when the plan-cached
-serial path is not faster than the uncached one** - the one regression
-this file exists to catch.
+serial path is not faster than the uncached one, or the VM path not
+faster than plan replay alone** - the regressions this file exists to
+catch.
 
 Usage::
 
@@ -145,6 +148,56 @@ def bench_plan_cache(rounds: int) -> dict:
     }
 
 
+def bench_vm(rounds: int) -> dict:
+    """PR 8 workload: the family campaign, plan replay only vs. full VM.
+
+    Both paths run with plans and stand reuse on; the knob under test is
+    ``use_vm``.  Campaigns are built once and reused across passes -
+    rebuilding them would create fresh script objects every pass and
+    defeat the identity-based caches both paths share, measuring an
+    artifact instead of the VM.  Passes interleave vm-off/vm-on so a load
+    spike on the machine hits both paths alike.
+    """
+    duts = campaignable_dut_names()
+
+    def _campaigns(use_vm: bool):
+        return [
+            build_campaign(CampaignSpec(dut=dut, use_vm=use_vm))
+            for dut in duts
+        ]
+
+    def _run(campaigns) -> None:
+        for campaign, faults in campaigns:
+            campaign.run(faults)
+
+    plan_only_campaigns = _campaigns(False)
+    vm_campaigns = _campaigns(True)
+
+    GLOBAL_PLAN_CACHE.clear()
+    _run(plan_only_campaigns)  # warm: plan compiles
+    _run(vm_campaigns)         # warm: VM binds + prologue memos
+    plan_only = float("inf")
+    vm_wall = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        _run(plan_only_campaigns)
+        plan_only = min(plan_only, time.perf_counter() - start)
+        start = time.perf_counter()
+        _run(vm_campaigns)
+        vm_wall = min(vm_wall, time.perf_counter() - start)
+    stats = GLOBAL_PLAN_CACHE.stats.snapshot()
+
+    return {
+        "workload": f"{len(duts)} DUT family campaign, serial backend, "
+                    f"plan replay vs bytecode VM",
+        "plan_only_s": round(plan_only, 4),
+        "vm_s": round(vm_wall, 4),
+        "speedup": round(plan_only / vm_wall, 2) if vm_wall > 0 else None,
+        "vm_runs": stats["vm_runs"],
+        "vm_degraded": stats["vm_degraded"],
+    }
+
+
 def bench_executor_scaling(rounds: int) -> dict:
     """A3 quick variant: one DUT campaign, serial vs. 4 worker threads."""
     campaign, faults = build_campaign(CampaignSpec(dut="wiper_ecu"))
@@ -223,6 +276,7 @@ def main(argv=None) -> int:
     try:
         workloads = {
             "plan_cache": bench_plan_cache(rounds),
+            "vm": bench_vm(rounds),
             "executor_scaling": bench_executor_scaling(rounds),
             "portability": bench_portability(rounds),
             "async_stands": bench_async_stands(
@@ -233,12 +287,17 @@ def main(argv=None) -> int:
         return 2
 
     plan = workloads["plan_cache"]
+    vm_point = workloads["vm"]
     gates = {
         # The reason this file exists: the compiled-plan serial path must
         # beat the uncached path, on every machine, on every commit.
         # Compared on the raw wall clocks - the rounded speedup can read
         # 1.0 for a path that is genuinely (barely) faster.
         "plan_cache_faster_than_uncached": plan["cached_s"] < plan["uncached_s"],
+        # PR 8: the bytecode VM must beat the plan-replay-only path it
+        # rides on - a VM that is slower than what it replaced is a
+        # regression no matter what the parity tests say.
+        "vm_faster_than_plan_only": vm_point["vm_s"] < vm_point["plan_only_s"],
     }
 
     point = {
@@ -272,6 +331,8 @@ def main(argv=None) -> int:
           f"@ {point['measured_at_unix']})")
     print(f"  plan cache      : {plan['uncached_s']:.3f} s uncached -> "
           f"{plan['cached_s']:.3f} s cached ({plan['speedup']}x)")
+    print(f"  bytecode vm     : {vm_point['plan_only_s']:.3f} s plan replay -> "
+          f"{vm_point['vm_s']:.3f} s VM ({vm_point['speedup']}x)")
     print(f"  executor scaling: {workloads['executor_scaling']['speedup']}x "
           f"with 4 threads")
     print(f"  portability     : {workloads['portability']['wall_s']:.3f} s "

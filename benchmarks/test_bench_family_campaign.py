@@ -13,8 +13,8 @@ adaptable stand and asserts
   gaps (fast_relay_weak, travel_slightly_slow, drl_dim, unlocks_at_speed),
   and the extended interior suite catches the paper's own ignores_ds_fr.
 
-The measured callable is the whole five-DUT batch - the family analogue of
-the single-DUT E3 campaign.
+The measured callable is the whole family batch - the analogue of the
+single-DUT E3 campaign across every campaignable DUT.
 """
 
 from __future__ import annotations
@@ -33,7 +33,8 @@ def test_family_campaign(benchmark, print_block):
     results = benchmark.pedantic(_campaign_family, rounds=1, iterations=1)
 
     assert set(results) == {"interior_light_ecu", "central_locking_ecu",
-                            "wiper_ecu", "window_lifter_ecu", "exterior_light_ecu"}
+                            "wiper_ecu", "window_lifter_ecu",
+                            "exterior_light_ecu", "instrument_cluster_ecu"}
     rows = []
     for dut, result in sorted(results.items()):
         assert result.baseline_clean, f"{dut}: healthy ECU fails its own suite"
@@ -54,5 +55,5 @@ def test_family_campaign(benchmark, print_block):
         "E4: fault campaigns across the whole body-electronics family",
         format_table(("DUT", "faults", "detected", "known gaps"), rows)
         + "\n\nregistry claim: every bundled ECU is campaignable through "
-          "repro.targets -> reproduced (5/5 DUTs, clean baselines).",
+          "repro.targets -> reproduced (6/6 DUTs, clean baselines).",
     )

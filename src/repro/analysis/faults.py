@@ -20,7 +20,9 @@ from typing import Callable, Iterable, Iterator
 from ..core.errors import ReproError
 from ..dut.base import EcuModel
 from ..dut.central_locking import CentralLockingEcu
+from ..dut.composition import EcuAssembly
 from ..dut.exterior_light import ExteriorLightEcu
+from ..dut.instrument_cluster import InstrumentClusterEcu
 from ..dut.interior_light import InteriorLightEcu
 from ..dut.pins import OutputDrive
 from ..dut.window_lifter import WindowLifterEcu
@@ -34,6 +36,8 @@ __all__ = [
     "wiper_faults",
     "window_lifter_faults",
     "exterior_light_faults",
+    "instrument_cluster_faults",
+    "interaction_faults",
 ]
 
 
@@ -47,10 +51,13 @@ class FaultModel:
     expected_detected: bool = True
 
     def build(self) -> EcuModel:
-        """Instantiate the faulty ECU."""
+        """Instantiate the faulty ECU (or, for composed faults, assembly)."""
         ecu = self.factory()
-        if not isinstance(ecu, EcuModel):
-            raise ReproError(f"fault {self.name!r} factory did not return an EcuModel")
+        if not isinstance(ecu, (EcuModel, EcuAssembly)):
+            raise ReproError(
+                f"fault {self.name!r} factory did not return an EcuModel "
+                f"or EcuAssembly"
+            )
         return ecu
 
     def __str__(self) -> str:
@@ -523,3 +530,97 @@ def exterior_light_faults() -> FaultCatalogue:
                        _ExtPositionOnlyWithPark),
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Instrument cluster ECU faults
+# ---------------------------------------------------------------------------
+
+class _ClusterTelltaleDead(InstrumentClusterEcu):
+    """The central-locking telltale lamp driver is broken."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        self.drive_output("LOCK_TELLTALE", OutputDrive.floating())
+
+
+class _ClusterGaugeStuckZero(InstrumentClusterEcu):
+    """The speedometer gauge output is stuck at zero."""
+
+    def _evaluate(self) -> None:
+        super()._evaluate()
+        self.drive_output(
+            "SPEED_DISP",
+            OutputDrive(level=0.0, resistance=self.GAUGE_RESISTANCE),
+        )
+
+
+class _ClusterSpeedScaleWrong(InstrumentClusterEcu):
+    """The sensor decoding uses 80 Ohm per km/h: all speeds read halved."""
+
+    OHMS_PER_KMH = 80.0
+
+
+class _ClusterSpeedTxTruncated(InstrumentClusterEcu):
+    """The broadcast raw speed (0.1 km/h units) is truncated to 8 bits.
+
+    Below 25.6 km/h the truncation is a no-op, so the cluster's own
+    ``speed_display`` sheet - which only checks the broadcast payload at 0
+    and 20 km/h - passes, and so does every other single-DUT suite (the
+    locking ECU's speed arrives as a stand-synthesised ``put_can``).  Only
+    a composed campaign, where the locking ECU consumes the *real*
+    broadcast at 130 km/h (raw 1300 -> 20 -> 2.0 km/h seen), catches it:
+    the auto lock never engages.  This is the bundled composition-only
+    escape; it deliberately lives in the *interaction* catalogue
+    (:func:`interaction_faults`), not in the cluster's own catalogue.
+    """
+
+    def transmit(self, message: str, values) -> None:
+        if str(message).lower() == "vehicle_speed":
+            raw = int(round(float(values.get("SPEED", 0.0)) * 10.0)) & 0xFF
+            values = dict(values, SPEED=raw / 10.0)
+        super().transmit(message, values)
+
+
+def instrument_cluster_faults() -> FaultCatalogue:
+    """The fault catalogue of the instrument cluster ECU."""
+    return FaultCatalogue(
+        InstrumentClusterEcu.NAME,
+        (
+            FaultModel("telltale_dead", "locking telltale lamp driver broken",
+                       _ClusterTelltaleDead),
+            FaultModel("gauge_stuck_zero", "speedometer gauge stuck at zero",
+                       _ClusterGaugeStuckZero),
+            FaultModel("speed_scale_wrong", "sensor decoded at half scale",
+                       _ClusterSpeedScaleWrong),
+        ),
+    )
+
+
+def _cluster_interaction_faults() -> FaultCatalogue:
+    return FaultCatalogue(
+        InstrumentClusterEcu.NAME,
+        (
+            FaultModel("speed_tx_truncated",
+                       "broadcast raw speed truncated to 8 bits",
+                       _ClusterSpeedTxTruncated),
+        ),
+    )
+
+
+#: Per-ECU factories for *interaction* fault catalogues: seeded defects
+#: that are provably invisible to the ECU's own single-DUT suite and only
+#: detectable in a multi-ECU composition.  Kept separate from the bundled
+#: per-DUT catalogues so single-DUT campaign reports (and the lint
+#: coverage rules) are not polluted with faults their sheets cannot see.
+_INTERACTION_FAULTS = {
+    InstrumentClusterEcu.NAME: _cluster_interaction_faults,
+}
+
+
+def interaction_faults(ecu_name: str) -> FaultCatalogue:
+    """Interaction fault catalogue for *ecu_name* (empty when none seeded)."""
+    factory = _INTERACTION_FAULTS.get(str(ecu_name).lower())
+    if factory is None:
+        return FaultCatalogue(str(ecu_name))
+    return factory()

@@ -1,6 +1,6 @@
 """Virtual CAN substrate: frames, signal coding, message database, bus."""
 
-from .bus import CanBus, CanNode
+from .bus import CanBus, CanNode, DuplicateNodeError
 from .codec import SignalCoding, pack_field, unpack_field
 from .database import CanDatabase, MessageDefinition
 from .frame import MAX_EXTENDED_ID, MAX_STANDARD_ID, CanFrame
@@ -16,4 +16,5 @@ __all__ = [
     "CanDatabase",
     "CanBus",
     "CanNode",
+    "DuplicateNodeError",
 ]

@@ -14,9 +14,24 @@ from typing import Callable, Iterable
 from ..core.errors import ValueError_
 from .frame import CanFrame
 
-__all__ = ["CanBus", "CanNode"]
+__all__ = ["CanBus", "CanNode", "DuplicateNodeError"]
 
 Listener = Callable[[CanFrame], None]
+
+
+class DuplicateNodeError(ValueError_):
+    """Two nodes with the same name were attached to one bus.
+
+    Node names identify senders in the transmit log and address receive
+    histories, so a silent duplicate would make traffic unattributable.
+    Stays a :class:`ValueError_` so pre-existing ``except`` clauses keep
+    working; carries the bus and node names for structured handling.
+    """
+
+    def __init__(self, bus: str, node: str):
+        super().__init__(f"node name {node!r} already attached to bus {bus!r}")
+        self.bus = bus
+        self.node = node
 
 
 class CanNode:
@@ -62,7 +77,7 @@ class CanBus:
     def attach(self, name: str, listener: Listener | None = None) -> CanNode:
         """Create and attach a new node."""
         if any(node.name == name for node in self._nodes):
-            raise ValueError_(f"node name {name!r} already attached to bus {self.name!r}")
+            raise DuplicateNodeError(self.name, name)
         node = CanNode(self, name, listener)
         self._nodes.append(node)
         return node

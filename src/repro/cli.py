@@ -230,6 +230,20 @@ def _print_target_listing(*, lint: bool = False) -> None:
             print(f"      coverage: {rendered}")
         if report is not None:
             print(f"      lint: {_lint_cell(report, target.name)}")
+    compositions = sorted(targets.iter_compositions(), key=lambda t: t.key)
+    if compositions:
+        print("registered compositions:")
+        for comp in compositions:
+            sheets = len(comp.suite_factory())
+            fault_count = len(comp.faults_factory())
+            members = ", ".join(
+                f"{member.alias}={member.dut}" for member in comp.members
+            )
+            print(f"  {comp.name}  (--compose {comp.name})")
+            print(f"      {comp.description or '-'}")
+            print(f"      members: {members}")
+            print(f"      sheets: {sheets}  member faults: {fault_count}  "
+                  f"adapter pins: {', '.join(comp.pins)}")
     print("registered stands:")
     for stand in sorted(targets.iter_stands(), key=lambda t: t.key):
         kind = "adaptable" if stand.adaptable else "fixed paper pinning"
@@ -334,6 +348,11 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--dut", default=None, metavar="NAME",
                         help="registered DUT whose bundled suite to campaign "
                              "(required when no workbook is given)")
+    parser.add_argument("--compose", default=None, metavar="NAME",
+                        help="registered multi-ECU composition to campaign "
+                             "(e.g. lock+cluster): its members share one CAN "
+                             "bus and the interaction suite drives them "
+                             "end-to-end; mutually exclusive with --dut")
     parser.add_argument("--stand", choices=targets.stand_names(), default=None,
                         help="which virtual test stand to use (default: one "
                              "that carries the DUT's adapter)")
@@ -396,12 +415,19 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     if args.list_targets:
         _print_target_listing(lint=args.lint)
         return 0
-    if args.workbook is None and args.dut is None:
-        parser.error("a workbook directory or --dut NAME is required")
+    if args.dut is not None and args.compose is not None:
+        parser.error("--dut and --compose are mutually exclusive")
+    if args.workbook is not None and args.compose is not None:
+        parser.error("--compose uses the composition's bundled interaction "
+                     "suite; a workbook directory cannot be combined with it")
+    if args.workbook is None and args.dut is None and args.compose is None:
+        parser.error("a workbook directory, --dut NAME or --compose NAME "
+                     "is required")
 
     try:
         spec = CampaignSpec(
             dut=args.dut,
+            composition=args.compose,
             workbook=args.workbook,
             stand=args.stand,
             faults=args.faults,  # comma-separated; parsed by CampaignSpec
@@ -437,6 +463,7 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
         document = {
             "kind": "campaign-result",
             "dut": args.dut,
+            "composition": args.compose,
             "table": rendered.get("table") or result.table(),
             "summary": rendered.get("summary") or result.summary(),
             "store_run_id": result.store_run_id,

@@ -54,6 +54,10 @@ class ValueError_(DefinitionError):
     """A physical value or expression could not be parsed."""
 
 
+class CompositionError(DefinitionError):
+    """A multi-ECU composition is inconsistent (pin or bus collisions...)."""
+
+
 class ExpressionError(ValueError_):
     """A limit expression (e.g. ``(0.7*ubatt)``) is malformed or unresolvable."""
 

@@ -18,9 +18,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-from .errors import SignalError
+from .errors import CompositionError, SignalError
 
-__all__ = ["SignalDirection", "SignalKind", "Signal", "SignalSet"]
+__all__ = ["SignalDirection", "SignalKind", "Signal", "SignalSet",
+           "merge_signal_sets"]
 
 
 class SignalDirection(enum.Enum):
@@ -164,8 +165,13 @@ class SignalSet:
     device under test, in sheet order.
     """
 
-    def __init__(self, signals: Iterable[Signal] = (), *, dut: str = ""):
+    def __init__(self, signals: Iterable[Signal] = (), *, dut: str = "",
+                 composition: str | None = None):
         self.dut = dut
+        #: Name of the multi-ECU composition this sheet belongs to, or
+        #: ``None`` for a classic single-DUT sheet.  Execution layers that
+        #: assume one ECU behind the harness (the bytecode VM) key off this.
+        self.composition = composition
         self._signals: dict[str, Signal] = {}
         for signal in signals:
             self.add(signal)
@@ -234,3 +240,28 @@ class SignalSet:
 
     def __repr__(self) -> str:
         return f"SignalSet(dut={self.dut!r}, signals={list(self._signals)!r})"
+
+
+def merge_signal_sets(sets: Iterable[SignalSet], *, dut: str,
+                      composition: str | None = None) -> SignalSet:
+    """Union of member signal definition sheets, with collision detection.
+
+    Field-identical redefinitions deduplicate silently - that is the shared
+    vocabulary case, e.g. two members both declaring the same ``IGN_ST``
+    bus signal.  A same-named signal with a *different* definition is a
+    composition error: the sheets would no longer say which member's signal
+    a step means.
+    """
+    merged = SignalSet(dut=dut, composition=composition)
+    for signal_set in sets:
+        for signal in signal_set:
+            if signal.name in merged:
+                existing = merged.get(signal.name)
+                if existing == signal:
+                    continue
+                raise CompositionError(
+                    f"signal {signal.name!r} is defined differently by two "
+                    f"composed members ({existing!r} vs {signal!r})"
+                )
+            merged.add(signal)
+    return merged

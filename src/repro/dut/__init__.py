@@ -2,9 +2,11 @@
 
 from .base import EcuModel
 from .central_locking import CentralLockingEcu
+from .composition import CompositionHarness, EcuAssembly, merge_databases
 from .events import Event, EventScheduler
 from .exterior_light import ExteriorLightEcu
 from .harness import LoadSpec, TestHarness
+from .instrument_cluster import InstrumentClusterEcu
 from .interior_light import InteriorLightEcu
 from .messages import body_can_database
 from .network import GROUND, Network
@@ -23,9 +25,13 @@ __all__ = [
     "GROUND",
     "TestHarness",
     "LoadSpec",
+    "CompositionHarness",
+    "EcuAssembly",
+    "merge_databases",
     "body_can_database",
     "InteriorLightEcu",
     "CentralLockingEcu",
+    "InstrumentClusterEcu",
     "WindowLifterEcu",
     "WiperEcu",
     "ExteriorLightEcu",

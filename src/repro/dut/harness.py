@@ -74,6 +74,26 @@ class TestHarness:
         self._ecu_node = self.bus.attach(ecu.name, listener=self._deliver_to_ecu)
         self._stand_node = self.bus.attach("test_stand")
 
+    def join_bus(self, bus: CanBus, *, node_name: str | None = None,
+                 stand_node=None):
+        """Re-home this harness onto a shared bus (multi-ECU composition).
+
+        The private per-harness bus is abandoned: the ECU re-attaches to
+        *bus* (as *node_name* when given, so compositions can namespace
+        members), and the stand side either attaches its own node or - when
+        a shared *stand_node* is passed - reuses the composition's single
+        test-stand attachment so every member sees the same traffic.
+        Returns the new ECU node.
+        """
+        self.bus.detach(self._ecu_node)
+        self.bus.detach(self._stand_node)
+        self.bus = bus
+        self._ecu_node = bus.attach(node_name or self.ecu.name,
+                                    listener=self._deliver_to_ecu)
+        self._stand_node = (stand_node if stand_node is not None
+                            else bus.attach("test_stand"))
+        return self._ecu_node
+
     # -- supply & clock ---------------------------------------------------------
 
     @property

@@ -1,0 +1,97 @@
+"""Instrument cluster ECU.
+
+A third body controller, added for the compositional-testing scenario: in
+the vehicle the speedometer cluster *produces* the speed broadcast that the
+central locking ECU consumes, so composing the two on one bus replaces the
+test stand's synthetic ``put_can`` speed with the real thing.  Behaviour:
+
+* The wheel-speed sensor arrives as a coded resistance on ``SPEED_SENSOR``
+  (40 Ohm per km/h; an open circuit reads as standstill, like an unplugged
+  sensor).
+* The sensed speed is broadcast on CAN (``VEHICLE_SPEED.SPEED``) whenever
+  it changes - in a composition this frame is what the central locking
+  ECU's auto-lock and unlock-inhibition logic actually sees.
+* The speedometer gauge output ``SPEED_DISP`` drives a voltage
+  proportional to the displayed speed (full scale 260 km/h = UBATT).
+* The central-locking telltale lamp ``LOCK_TELLTALE`` mirrors the
+  ``LOCK_STATUS.LOCKED`` bit received over CAN.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import EcuModel
+from .pins import OutputDrive, Pin, PinKind
+
+__all__ = ["InstrumentClusterEcu"]
+
+
+class InstrumentClusterEcu(EcuModel):
+    """Behavioural model of an instrument cluster (speedometer) unit."""
+
+    NAME = "instrument_cluster_ecu"
+    PINS = (
+        Pin("SPEED_SENSOR", PinKind.RESISTIVE_INPUT,
+            "wheel speed sensor (resistance coded, 40 Ohm per km/h)"),
+        Pin("SPEED_DISP", PinKind.SIGNAL_OUTPUT, "speedometer gauge output"),
+        Pin("LOCK_TELLTALE", PinKind.SIGNAL_OUTPUT,
+            "central locking telltale lamp"),
+    )
+    RX_MESSAGES = ("LOCK_STATUS", "IGN_STATUS")
+    TX_MESSAGES = ("VEHICLE_SPEED",)
+
+    #: Speed sensor coding [Ohm per km/h].
+    OHMS_PER_KMH = 40.0
+    #: Sensor resistances at or above this read as "unplugged" = 0 km/h.
+    SENSOR_OPEN_OHMS = 100e3
+    #: Gauge full scale [km/h]; the gauge output reaches UBATT here.
+    FULL_SCALE_KMH = 260.0
+    #: Gauge driver output resistance [Ohm].
+    GAUGE_RESISTANCE = 1.0
+    #: Telltale lamp driver on-resistance [Ohm].
+    TELLTALE_RESISTANCE = 0.2
+
+    def __init__(self) -> None:
+        self._last_tx_speed: float | None = None
+        super().__init__()
+
+    def _reset_state(self) -> None:
+        self._last_tx_speed = None
+
+    # -- observable state ---------------------------------------------------------
+
+    @property
+    def sensed_speed(self) -> float:
+        """Speed decoded from the sensor resistance, on the 0.1 km/h raw grid."""
+        ohms = self.resistance_at("SPEED_SENSOR")
+        if not math.isfinite(ohms) or ohms >= self.SENSOR_OPEN_OHMS:
+            return 0.0
+        speed = min(ohms / self.OHMS_PER_KMH, 409.5)
+        return round(speed * 10.0) / 10.0
+
+    @property
+    def locked(self) -> bool:
+        """Lock state as last reported over CAN."""
+        return self.rx_signal("LOCK_STATUS", "LOCKED", 0.0) >= 0.5
+
+    # -- behaviour ------------------------------------------------------------------
+
+    def _evaluate(self) -> None:
+        speed = self.sensed_speed
+        if speed != self._last_tx_speed:
+            self._last_tx_speed = speed
+            self.transmit("VEHICLE_SPEED", {"SPEED": speed})
+        self.drive_output(
+            "SPEED_DISP",
+            OutputDrive(level=min(speed / self.FULL_SCALE_KMH, 1.0),
+                        resistance=self.GAUGE_RESISTANCE),
+        )
+        if self.locked:
+            self.drive_output(
+                "LOCK_TELLTALE", OutputDrive.high_side(self.TELLTALE_RESISTANCE))
+        else:
+            self.drive_output("LOCK_TELLTALE", OutputDrive.floating())
+
+    def _inputs_changed(self) -> None:
+        self._evaluate()

@@ -27,6 +27,7 @@ from .engine import (
     LintError,
     LintReport,
     preflight_lint,
+    preflight_lint_composition,
     rules_by_id,
     run_lint,
     select_rules,
@@ -63,6 +64,7 @@ __all__ = [
     "blocking_execute_calls",
     "exit_code_for",
     "preflight_lint",
+    "preflight_lint_composition",
     "rules_by_id",
     "run_lint",
     "select_rules",

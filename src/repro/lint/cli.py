@@ -31,6 +31,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="limit the analysis to this DUT (repeatable; default: all)",
     )
     parser.add_argument(
+        "--composition", action="append", metavar="NAME",
+        help="limit the family-M analysis to this composition (repeatable; "
+             "default: all on a whole-registry run, none with --dut)",
+    )
+    parser.add_argument(
         "--rule", action="append", metavar="ID",
         help="run only this rule id (repeatable)",
     )
@@ -65,6 +70,7 @@ def main(argv: list[str] | None = None) -> int:
             duts=options.dut,
             rules=options.rule,
             ignore=options.ignore,
+            compositions=options.composition,
         )
     except TargetError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)

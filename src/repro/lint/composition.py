@@ -1,0 +1,230 @@
+"""Rule family M: multi-ECU composition rules.
+
+A composition puts several registered DUTs on one shared CAN harness
+(:class:`repro.targets.CompositionTarget`), which creates failure modes no
+single-DUT rule can see: two members claiming the same adapter pin, two
+members transmitting the same bus message, an interaction sheet naming a
+signal no member owns, or the stand synthesising a message a member
+produces (the stand and the member then fight over the shared bus).  These
+rules prove the composed wiring statically, before a campaign builds a
+single assembly.
+
+Findings carry the *composition* name in their ``dut`` field - that is the
+campaignable unit the finding belongs to.
+"""
+
+from __future__ import annotations
+
+from ..core.signals import SignalKind
+from .context import LintContext
+from .findings import ERROR, WARNING, LintRule
+
+__all__ = ["RULES"]
+
+
+def _member_ecus(context: LintContext, comp):
+    """(member, DutTarget, healthy ECU) triples; members that cannot be
+    built are skipped (their DUT-level problems surface elsewhere)."""
+    triples = []
+    for member, target in context.composition_members(comp):
+        if target is None:
+            continue
+        harness = context.harness(target)
+        if harness is None:
+            continue
+        triples.append((member, target, harness))
+    return triples
+
+
+# ---------------------------------------------------------------------------
+# M-PIN-COLLISION
+# ---------------------------------------------------------------------------
+
+def check_pin_collision(context: LintContext, rule: LintRule):
+    """Two composed members must not share a pin name.
+
+    The member harnesses keep per-member electrical namespaces on the
+    shared stand adapter; a duplicated pin name would make stimulus and
+    measurement dispatch ambiguous (``EcuAssembly`` refuses to build, and
+    the union adapter pin list is undefined).
+    """
+    for comp in context.compositions:
+        seen: dict[str, str] = {}
+        for member, _target, harness in _member_ecus(context, comp):
+            for pin in harness.ecu.pins:
+                owner = seen.get(pin.key)
+                if owner is not None:
+                    yield rule.finding(
+                        f"member:{member.alias} pin:{pin.name}",
+                        f"pin {pin.name!r} of member {member.alias!r} "
+                        f"collides with member {owner!r}",
+                        hint="rename one member's pins; composed adapter "
+                             "pin namespaces must be disjoint",
+                        dut=comp.name,
+                    )
+                else:
+                    seen[pin.key] = member.alias
+
+
+# ---------------------------------------------------------------------------
+# M-BUS-COLLISION
+# ---------------------------------------------------------------------------
+
+def check_bus_collision(context: LintContext, rule: LintRule):
+    """Bus-address collisions between composed members.
+
+    Two flavours: a message *defined* differently by two member databases
+    (same name or CAN identifier, different layout - the merged database
+    would be ambiguous), and a message *produced* by two members (both
+    would transmit under the same identifier on the shared bus).
+    Field-identical shared definitions - two members carrying the same
+    body catalogue - are fine and deduplicate.
+    """
+    for comp in context.compositions:
+        by_name: dict[str, tuple[str, object]] = {}
+        by_id: dict[int, tuple[str, object]] = {}
+        senders: dict[str, str] = {}
+        for member, _target, harness in _member_ecus(context, comp):
+            database = harness.can_db
+            if database is not None:
+                for message in database:
+                    known = by_name.get(message.key) or by_id.get(message.can_id)
+                    if known is not None:
+                        owner, definition = known
+                        if message != definition:
+                            yield rule.finding(
+                                f"member:{member.alias} message:{message.name}",
+                                f"CAN message {message.name!r} "
+                                f"(id 0x{message.can_id:x}) of member "
+                                f"{member.alias!r} conflicts with member "
+                                f"{owner!r}'s definition",
+                                hint="give the members one shared message "
+                                     "catalogue or disjoint identifiers",
+                                dut=comp.name,
+                            )
+                        continue
+                    by_name[message.key] = (member.alias, message)
+                    by_id[message.can_id] = (member.alias, message)
+            for name in harness.ecu.TX_MESSAGES:
+                key = str(name).lower()
+                owner = senders.get(key)
+                if owner is not None and owner != member.alias:
+                    yield rule.finding(
+                        f"member:{member.alias} message:{name}",
+                        f"members {owner!r} and {member.alias!r} both "
+                        f"transmit message {name!r} on the shared bus",
+                        hint="a composed message needs exactly one producer",
+                        dut=comp.name,
+                    )
+                else:
+                    senders[key] = member.alias
+
+
+# ---------------------------------------------------------------------------
+# M-UNRESOLVED-SIGNAL
+# ---------------------------------------------------------------------------
+
+def check_unresolved_signal(context: LintContext, rule: LintRule):
+    """Every composed-sheet signal must resolve against some member.
+
+    An electrical signal's pins must belong to exactly one member's ECU; a
+    bus signal's carrying message must exist in some member's database.
+    Anything else would execute as per-action ERROR verdicts at campaign
+    time.
+    """
+    for comp in context.compositions:
+        suite = context.composition_suite(comp)
+        if suite is None:
+            continue
+        members = _member_ecus(context, comp)
+        messages = {
+            message.key
+            for _member, _target, harness in members
+            if harness.can_db is not None
+            for message in harness.can_db
+        }
+        for signal in suite.signals:
+            if signal.kind is SignalKind.BUS:
+                if signal.message and signal.message.lower() not in messages:
+                    yield rule.finding(
+                        f"sheet:signals signal:{signal.name}",
+                        f"bus signal {signal.name!r} names message "
+                        f"{signal.message!r}, which no member's CAN "
+                        f"database defines",
+                        hint="fix the message name or extend a member's "
+                             "database",
+                        dut=comp.name,
+                    )
+                continue
+            for pin in signal.pins:
+                if not any(harness.ecu.has_pin(pin)
+                           for _m, _t, harness in members):
+                    yield rule.finding(
+                        f"sheet:signals signal:{signal.name}",
+                        f"signal {signal.name!r} references pin {pin!r}, "
+                        f"which no composed member owns",
+                        hint="fix the pin name or add the owning member",
+                        dut=comp.name,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# M-STIMULATED-MEMBER-TX
+# ---------------------------------------------------------------------------
+
+def check_stimulated_member_tx(context: LintContext, rule: LintRule):
+    """The stand must not synthesise messages a member produces.
+
+    A composed sheet that keeps a single-DUT stand-in input (the locking
+    sheet's ``put_can`` speed, say) while the real producer is on the bus
+    makes the stand and the member fight over the same message - checks
+    then pass or fail depending on frame ordering, not behaviour.  Such
+    signals must be dropped from the composed sheet; the member's real
+    output replaces them.
+    """
+    for comp in context.compositions:
+        suite = context.composition_suite(comp)
+        if suite is None:
+            continue
+        producers: dict[str, str] = {}
+        for member, _target, harness in _member_ecus(context, comp):
+            for name in harness.ecu.TX_MESSAGES:
+                producers.setdefault(str(name).lower(), member.alias)
+        for signal in suite.signals:
+            if signal.kind is not SignalKind.BUS or not signal.is_input:
+                continue
+            producer = producers.get((signal.message or "").lower())
+            if producer is not None:
+                yield rule.finding(
+                    f"sheet:signals signal:{signal.name}",
+                    f"input bus signal {signal.name!r} has the stand "
+                    f"synthesise message {signal.message!r}, which member "
+                    f"{producer!r} produces on the shared bus",
+                    hint="drop the stand-in from the composed sheet; the "
+                         "member's real broadcast replaces it",
+                    dut=comp.name,
+                )
+
+
+RULES = (
+    LintRule(
+        "M-PIN-COLLISION", ERROR,
+        "composed members share a pin name",
+        check_pin_collision,
+    ),
+    LintRule(
+        "M-BUS-COLLISION", ERROR,
+        "composed members collide on a CAN message",
+        check_bus_collision,
+    ),
+    LintRule(
+        "M-UNRESOLVED-SIGNAL", ERROR,
+        "composed-sheet signal resolves against no member",
+        check_unresolved_signal,
+    ),
+    LintRule(
+        "M-STIMULATED-MEMBER-TX", WARNING,
+        "stand synthesises a message a member produces",
+        check_stimulated_member_tx,
+    ),
+)

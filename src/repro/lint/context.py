@@ -21,7 +21,17 @@ from ..core.compiler import Compiler
 from ..core.script import TestScript
 from ..core.testdef import TestSuite
 from ..methods import MethodRegistry, default_registry
-from ..targets import DutTarget, StandTarget, get_dut, iter_duts, iter_stands
+from ..targets import (
+    CompositionMember,
+    CompositionTarget,
+    DutTarget,
+    StandTarget,
+    get_composition,
+    get_dut,
+    iter_compositions,
+    iter_duts,
+    iter_stands,
+)
 from ..teststand.stands import TestStand
 
 __all__ = ["LintContext"]
@@ -38,12 +48,25 @@ class LintContext:
         stands: Iterable[StandTarget] | None = None,
         *,
         registry: MethodRegistry | None = None,
+        compositions: Iterable[CompositionTarget | str] | None = None,
     ):
         if duts is None:
             self.duts: tuple[DutTarget, ...] = iter_duts()
         else:
             self.duts = tuple(
                 get_dut(d) if isinstance(d, str) else d for d in duts
+            )
+        # A whole-registry run (duts=None) lints every registered
+        # composition too; an explicit DUT selection lints only those DUTs
+        # unless compositions are selected explicitly as well.
+        if compositions is None:
+            self.compositions: tuple[CompositionTarget, ...] = (
+                iter_compositions() if duts is None else ()
+            )
+        else:
+            self.compositions = tuple(
+                get_composition(c) if isinstance(c, str) else c
+                for c in compositions
             )
         self.stands: tuple[StandTarget, ...] = (
             iter_stands() if stands is None else tuple(stands)
@@ -107,6 +130,31 @@ class LintContext:
             except Exception:
                 return None
         return self.memo(("catalogue", dut.key), build)
+
+    # -- per-composition artefacts -------------------------------------------
+
+    def composition_suite(self, comp: CompositionTarget) -> TestSuite | None:
+        """The composition's interaction suite, or ``None`` on failure."""
+        def build():
+            try:
+                return comp.suite_factory()
+            except Exception:
+                return None
+        return self.memo(("comp_suite", comp.key), build)
+
+    def composition_members(
+        self, comp: CompositionTarget
+    ) -> tuple[tuple[CompositionMember, DutTarget | None], ...]:
+        """(member, registered DUT target) pairs; ``None`` for unknown DUTs."""
+        def build():
+            pairs = []
+            for member in comp.members:
+                try:
+                    pairs.append((member, get_dut(member.dut)))
+                except Exception:
+                    pairs.append((member, None))
+            return tuple(pairs)
+        return self.memo(("comp_members", comp.key), build)
 
     # -- stands --------------------------------------------------------------
 

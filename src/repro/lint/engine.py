@@ -13,8 +13,8 @@ from typing import Iterable, Mapping, Sequence
 
 from ..core.errors import ReproError
 from ..methods import MethodRegistry
-from ..targets import DutTarget, TargetError
-from . import coverage, executor_safety, expressions, reachability
+from ..targets import CompositionTarget, DutTarget, TargetError, get_composition
+from . import composition, coverage, executor_safety, expressions, reachability
 from .context import LintContext
 from .findings import (
     ERROR,
@@ -31,18 +31,20 @@ __all__ = [
     "LintError",
     "LintReport",
     "preflight_lint",
+    "preflight_lint_composition",
     "rules_by_id",
     "run_lint",
     "select_rules",
 ]
 
 #: Every registered rule, family order: expressions, reachability,
-#: coverage, executor safety.
+#: coverage, executor safety, composition.
 ALL_RULES: tuple[LintRule, ...] = (
     expressions.RULES
     + reachability.RULES
     + coverage.RULES
     + executor_safety.RULES
+    + composition.RULES
 )
 
 
@@ -144,6 +146,7 @@ def run_lint(
     rules: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     registry: MethodRegistry | None = None,
+    compositions: Sequence[CompositionTarget | str] | None = None,
 ) -> LintReport:
     """Statically analyse the registered targets without executing a job.
 
@@ -155,9 +158,13 @@ def run_lint(
         Rule-id filters, see :func:`select_rules`.
     registry:
         Method registry override; default the shared default registry.
+    compositions:
+        Composition targets (or names) to analyse with the family-M rules;
+        default all registered compositions on a whole-registry run
+        (``duts=None``), none when DUTs are selected explicitly.
     """
     selected = select_rules(rules, ignore)
-    context = LintContext(duts, registry=registry)
+    context = LintContext(duts, registry=registry, compositions=compositions)
     findings: list[LintFinding] = []
     for rule in selected:
         findings.extend(rule.check(context, rule))
@@ -175,15 +182,7 @@ class LintError(TargetError):
         self.findings = findings
 
 
-def preflight_lint(dut: DutTarget | str) -> LintReport:
-    """Lint one DUT and raise :class:`LintError` on error findings.
-
-    This is the ``preflight="lint"`` hook of
-    :func:`repro.targets.run_single` and
-    :func:`repro.targets.build_campaign`: warnings and notes pass, errors
-    abort before any stand is built.
-    """
-    report = run_lint([dut])
+def _raise_on_errors(report: LintReport) -> LintReport:
     errors = report.errors
     if errors:
         listed = "; ".join(
@@ -196,3 +195,31 @@ def preflight_lint(dut: DutTarget | str) -> LintReport:
             findings=errors,
         )
     return report
+
+
+def preflight_lint(dut: DutTarget | str) -> LintReport:
+    """Lint one DUT and raise :class:`LintError` on error findings.
+
+    This is the ``preflight="lint"`` hook of
+    :func:`repro.targets.run_single` and
+    :func:`repro.targets.build_campaign`: warnings and notes pass, errors
+    abort before any stand is built.
+    """
+    return _raise_on_errors(run_lint([dut]))
+
+
+def preflight_lint_composition(
+    composition: CompositionTarget | str,
+) -> LintReport:
+    """Lint one composition - its member DUTs plus the family-M composition
+    rules - and raise :class:`LintError` on error findings.
+
+    The composed ``preflight="lint"`` hook: a composed campaign is only as
+    sound as its members, so their single-DUT findings gate it too.
+    """
+    comp = get_composition(composition) \
+        if isinstance(composition, str) else composition
+    return _raise_on_errors(
+        run_lint([member.dut for member in comp.members],
+                 compositions=[comp])
+    )

@@ -1,0 +1,170 @@
+"""The instrument cluster project: a third DUT reusing the shared vocabulary.
+
+The cluster is the *producer* side of the speed broadcast the central
+locking ECU consumes, which makes it the natural partner for the
+compositional campaign (see :mod:`repro.paper.composed`).  Its own
+single-DUT suite follows the established pattern - shared ``Lo``/``Ho``/
+``0``/``1`` statuses plus project-specific additions:
+
+* ``speed_display``  - sensor resistance in, gauge voltage and speed
+  broadcast out.  The broadcast payload is only checked on the 20 km/h
+  raw-grid case; that deliberate sampling gap is what the composed-only
+  ``speed_tx_truncated`` escape hides in (the fault truncates the raw
+  speed to 8 bits, which is invisible below 25.6 km/h).
+* ``lock_telltale``  - the telltale lamp mirrors the ``LOCK_STATUS``
+  bit, stimulated synthetically by the stand (in a composition the real
+  locking ECU produces it instead).
+"""
+
+from __future__ import annotations
+
+from ..core.signals import Signal, SignalDirection, SignalKind, SignalSet
+from ..core.status import StatusDefinition, StatusTable
+from ..core.testdef import TestDefinition, TestSuite
+from ..dut.harness import LoadSpec, TestHarness
+from ..dut.instrument_cluster import InstrumentClusterEcu
+from ..dut.messages import body_can_database
+from .example import paper_status_table
+
+__all__ = [
+    "cluster_signal_set",
+    "cluster_status_table",
+    "cluster_test_definitions",
+    "cluster_suite",
+    "cluster_harness",
+]
+
+
+def cluster_signal_set() -> SignalSet:
+    """Signal definition sheet of the instrument cluster project."""
+    return SignalSet(
+        (
+            Signal("IGN_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="IGN_STATUS", initial_status="Off",
+                   description="ignition status over CAN"),
+            Signal("LOCK_ST", SignalDirection.INPUT, SignalKind.BUS,
+                   message="LOCK_STATUS", initial_status="0",
+                   description="lock status over CAN (synthesised when "
+                               "tested alone, real when composed)"),
+            Signal("SPEED_SENSOR", SignalDirection.INPUT, SignalKind.RESISTIVE,
+                   pins=("SPEED_SENSOR",), initial_status="Standing",
+                   description="wheel speed sensor, resistance coded"),
+            Signal("SPEED_TX", SignalDirection.OUTPUT, SignalKind.BUS,
+                   message="VEHICLE_SPEED",
+                   description="speed broadcast over CAN"),
+            Signal("SPEED_DISP", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("SPEED_DISP",), initial_status="Lo",
+                   description="speedometer gauge output"),
+            Signal("LOCK_TELLTALE", SignalDirection.OUTPUT, SignalKind.ANALOG,
+                   pins=("LOCK_TELLTALE",), initial_status="Lo",
+                   description="central locking telltale lamp"),
+        ),
+        dut="instrument_cluster_ecu",
+    )
+
+
+def cluster_status_table() -> StatusTable:
+    """Shared vocabulary plus the cluster-specific statuses."""
+    shared = paper_status_table()
+    additions = StatusTable(
+        (
+            StatusDefinition.from_cells("Standing", "put_r", "r", nominal="0",
+                                        minimum="0", maximum="2", d1="1",
+                                        description="speed sensor at standstill "
+                                                    "(0 km/h)"),
+            StatusDefinition.from_cells("Sense20", "put_r", "r", nominal="800",
+                                        minimum="750", maximum="850", d1="40",
+                                        description="speed sensor at 20 km/h "
+                                                    "(40 Ohm per km/h)"),
+            StatusDefinition.from_cells("Sense130", "put_r", "r", nominal="5200",
+                                        minimum="5100", maximum="5300", d1="40",
+                                        description="speed sensor at 130 km/h, "
+                                                    "above the unlock inhibition "
+                                                    "threshold"),
+            StatusDefinition.from_cells("Gauge20", "get_u", "u", variable="UBATT",
+                                        nominal="0,08", minimum="0,05",
+                                        maximum="0,11",
+                                        description="gauge shows 20 km/h "
+                                                    "(20/260 x UBATT)"),
+            StatusDefinition.from_cells("Gauge130", "get_u", "u", variable="UBATT",
+                                        nominal="0,5", minimum="0,45",
+                                        maximum="0,55",
+                                        description="gauge shows 130 km/h "
+                                                    "(130/260 x UBATT)"),
+            StatusDefinition.from_cells("Tx0", "get_can", "data", nominal="0",
+                                        description="speed broadcast reports "
+                                                    "standstill"),
+            StatusDefinition.from_cells("Tx20", "get_can", "data", nominal="200",
+                                        description="speed broadcast reports "
+                                                    "20 km/h (raw 0.1 km/h)"),
+        ),
+        name="cluster_additions",
+    )
+    return shared.merged_with(additions, name="cluster_status")
+
+
+def cluster_test_definitions() -> tuple[TestDefinition, ...]:
+    """The two test sheets of the instrument cluster project."""
+    display = TestDefinition(
+        "speed_display",
+        signals=("SPEED_SENSOR", "SPEED_DISP", "SPEED_TX"),
+        description="Sensor resistance in, gauge voltage and speed broadcast out",
+        requirement="REQ_CLUSTER_SPEED",
+    )
+    display.add_step(0.5, {"SPEED_SENSOR": "Standing", "SPEED_DISP": "Lo",
+                           "SPEED_TX": "Tx0"},
+                     remark="standstill: gauge at zero")
+    display.add_step(0.5, {"SPEED_SENSOR": "Sense20", "SPEED_DISP": "Gauge20",
+                           "SPEED_TX": "Tx20"},
+                     remark="20 km/h sensed and broadcast")
+    display.add_step(0.5, {"SPEED_SENSOR": "Sense130", "SPEED_DISP": "Gauge130"},
+                     remark="gauge tracks to 130 km/h")
+    display.add_step(0.5, {"SPEED_SENSOR": "Standing", "SPEED_DISP": "Lo",
+                           "SPEED_TX": "Tx0"},
+                     remark="back to standstill")
+
+    telltale = TestDefinition(
+        "lock_telltale",
+        signals=("LOCK_ST", "LOCK_TELLTALE"),
+        description="The telltale lamp mirrors the CAN lock status",
+        requirement="REQ_CLUSTER_TELLTALE",
+    )
+    telltale.add_step(0.5, {"LOCK_ST": "0", "LOCK_TELLTALE": "Lo"},
+                      remark="unlocked: telltale dark")
+    telltale.add_step(0.5, {"LOCK_ST": "1", "LOCK_TELLTALE": "Ho"},
+                      remark="locked: telltale lights")
+    telltale.add_step(0.5, {"LOCK_ST": "0", "LOCK_TELLTALE": "Lo"},
+                      remark="unlocked again")
+    return (display, telltale)
+
+
+def cluster_suite() -> TestSuite:
+    """The instrument cluster project's complete single-DUT suite."""
+    suite = TestSuite(
+        "instrument_cluster_ecu",
+        cluster_signal_set(),
+        cluster_status_table(),
+        cluster_test_definitions(),
+        description="Component tests of the instrument cluster ECU",
+    )
+    suite.validate()
+    return suite
+
+
+def cluster_harness(ecu: InstrumentClusterEcu | None = None, *,
+                    ubatt: float = 12.0) -> TestHarness:
+    """The cluster ECU wired with its gauge coil and telltale lamp loads.
+
+    Like the other harness factories this accepts an optional (possibly
+    faulty) ECU instance: it is the picklable harness factory used by
+    instrument-cluster campaign jobs.
+    """
+    return TestHarness(
+        ecu if ecu is not None else InstrumentClusterEcu(),
+        body_can_database(),
+        ubatt=ubatt,
+        loads=(
+            LoadSpec("SPEED_DISP", ohms=1000.0, name="gauge_coil"),
+            LoadSpec("LOCK_TELLTALE", ohms=500.0, name="telltale_lamp"),
+        ),
+    )

@@ -1,0 +1,114 @@
+"""Interaction sheets for the lock+cluster composition.
+
+These sheets only make sense with *both* ECUs on one bus: the central
+locking ECU's speed input is produced by the real instrument cluster
+(stimulated through its resistive ``SPEED_SENSOR``), and the cluster's
+telltale lamp follows the real ``LOCK_STATUS`` broadcast of the locking
+ECU.  The single-DUT suites synthesise both of those messages from the
+stand, which is exactly why a producer-side defect like
+``speed_tx_truncated`` (raw speed truncated to 8 bits, invisible below
+25.6 km/h) passes every single-DUT suite and only turns red here.
+
+The signal definition sheet is the collision-checked merge of the two
+member sheets, minus the stand-side stand-ins (``SPEED``, ``LOCK_ST``)
+for messages that a member now produces on the shared bus.
+"""
+
+from __future__ import annotations
+
+from ..core.signals import SignalSet, merge_signal_sets
+from ..core.status import StatusTable
+from ..core.testdef import TestDefinition, TestSuite
+from .cluster import cluster_signal_set, cluster_status_table
+from .extended import locking_signal_set, locking_status_table
+
+__all__ = [
+    "COMPOSITION_NAME",
+    "composed_signal_set",
+    "composed_status_table",
+    "composed_test_definitions",
+    "composed_suite",
+]
+
+#: Registry name of the bundled lock+cluster composition.
+COMPOSITION_NAME = "lock+cluster"
+
+#: Member bus signals the stand must no longer synthesise: their messages
+#: are produced by a member ECU on the shared bus.
+_MEMBER_PRODUCED_STAND_INS = ("speed", "lock_st")
+
+
+def composed_signal_set() -> SignalSet:
+    """Merged signal sheet of the composition (collision-checked)."""
+    merged = merge_signal_sets(
+        (locking_signal_set(), cluster_signal_set()),
+        dut=COMPOSITION_NAME, composition=COMPOSITION_NAME,
+    )
+    return SignalSet(
+        (s for s in merged if s.key not in _MEMBER_PRODUCED_STAND_INS),
+        dut=merged.dut, composition=merged.composition,
+    )
+
+
+def composed_status_table() -> StatusTable:
+    """Union of the member vocabularies (identical shares deduplicate)."""
+    return locking_status_table().merged_with(
+        cluster_status_table(), name="composed_status")
+
+
+def composed_test_definitions() -> tuple[TestDefinition, ...]:
+    """The two interaction sheets of the lock+cluster composition."""
+    auto = TestDefinition(
+        "composed_auto_lock",
+        signals=("IGN_ST", "SPEED_SENSOR", "LOCK_LED", "LOCKED",
+                 "LOCK_TELLTALE"),
+        description="Driving off auto-locks via the real cluster broadcast, "
+                    "and the telltale follows the real lock status",
+        requirement="REQ_COMPOSED_AUTO_LOCK",
+    )
+    auto.add_step(0.5, {"IGN_ST": "IgnOn", "SPEED_SENSOR": "Standing",
+                        "LOCK_LED": "Lo", "LOCK_TELLTALE": "Lo"},
+                  remark="ignition on, standing, unlocked")
+    auto.add_step(0.5, {"SPEED_SENSOR": "Sense20", "LOCK_LED": "Ho",
+                        "LOCKED": "Locked", "LOCK_TELLTALE": "Ho"},
+                  remark="driving off: cluster broadcast locks the car")
+    auto.add_step(0.5, {"SPEED_SENSOR": "Standing", "LOCK_LED": "Ho",
+                        "LOCKED": "Locked", "LOCK_TELLTALE": "Ho"},
+                  remark="stays locked at standstill")
+
+    inhibit = TestDefinition(
+        "composed_unlock_inhibit",
+        signals=("IGN_ST", "SPEED_SENSOR", "LOCK_REQ", "LOCK_LED", "LOCKED",
+                 "LOCK_TELLTALE"),
+        description="Unlock refused while the real cluster reports autobahn "
+                    "speed",
+        requirement="REQ_COMPOSED_INHIBIT",
+    )
+    inhibit.add_step(0.5, {"IGN_ST": "IgnOn", "SPEED_SENSOR": "Sense130",
+                           "LOCK_REQ": "0", "LOCK_LED": "Ho",
+                           "LOCKED": "Locked"},
+                     remark="fast driving auto-locks")
+    inhibit.add_step(0.5, {"LOCK_REQ": "Unlock", "LOCK_LED": "Ho",
+                           "LOCKED": "Locked", "LOCK_TELLTALE": "Ho"},
+                     remark="unlock refused at 130 km/h")
+    inhibit.add_step(0.5, {"SPEED_SENSOR": "Standing", "LOCK_REQ": "0",
+                           "LOCK_LED": "Ho", "LOCKED": "Locked"},
+                     remark="standing, request released")
+    inhibit.add_step(0.5, {"LOCK_REQ": "Unlock", "LOCK_LED": "Lo",
+                           "LOCKED": "Unlocked", "LOCK_TELLTALE": "Lo"},
+                     remark="standing: unlock works, telltale dark")
+    return (auto, inhibit)
+
+
+def composed_suite() -> TestSuite:
+    """The composition's complete suite (interaction sheets only)."""
+    suite = TestSuite(
+        COMPOSITION_NAME,
+        composed_signal_set(),
+        composed_status_table(),
+        composed_test_definitions(),
+        description="Interaction tests of the lock+cluster composition on a "
+                    "shared CAN bus",
+    )
+    suite.validate()
+    return suite

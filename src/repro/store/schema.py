@@ -48,7 +48,7 @@ __all__ = ["STORE_SCHEMA", "DDL"]
 #: Version of the on-disk store schema, recorded in ``meta``.  Bump on any
 #: table change; :class:`repro.store.ResultStore` refuses to open a store
 #: written by a different schema version instead of misreading it.
-STORE_SCHEMA = 1
+STORE_SCHEMA = 2
 
 #: The full DDL, executed with ``executescript`` on first open.  Every
 #: statement is idempotent (``IF NOT EXISTS``) so concurrent first opens
@@ -78,6 +78,7 @@ CREATE TABLE IF NOT EXISTS catalogues (
 CREATE TABLE IF NOT EXISTS campaigns (
     id           INTEGER PRIMARY KEY,
     dut          TEXT,
+    composition  TEXT,
     stand        TEXT,
     policy       TEXT NOT NULL,
     backend      TEXT NOT NULL,

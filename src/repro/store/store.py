@@ -427,8 +427,10 @@ class ResultStore:
 
     def _intern_campaign(self, conn: sqlite3.Connection, spec,
                          catalogue_id: int | None) -> int:
+        composition = getattr(spec, "composition", None)
         fields = {
             "dut": spec.dut,
+            "composition": composition,
             "stand": spec.stand,
             "policy": spec.policy,
             "backend": spec.backend,
@@ -441,12 +443,14 @@ class ResultStore:
         }
         fingerprint = _fingerprint(_canonical(fields))
         conn.execute(
-            "INSERT OR IGNORE INTO campaigns (dut, stand, policy, backend, "
-            "jobs, concurrency, retries, use_plans, reuse_stands, "
-            "catalogue_id, fingerprint) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (spec.dut, spec.stand, spec.policy, spec.backend, int(spec.jobs),
-             int(spec.concurrency), int(spec.retries), int(spec.use_plans),
-             int(spec.reuse_stands), catalogue_id, fingerprint),
+            "INSERT OR IGNORE INTO campaigns (dut, composition, stand, "
+            "policy, backend, jobs, concurrency, retries, use_plans, "
+            "reuse_stands, catalogue_id, fingerprint) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (spec.dut, composition, spec.stand, spec.policy, spec.backend,
+             int(spec.jobs), int(spec.concurrency), int(spec.retries),
+             int(spec.use_plans), int(spec.reuse_stands), catalogue_id,
+             fingerprint),
         )
         row = conn.execute(
             "SELECT id FROM campaigns WHERE fingerprint = ?", (fingerprint,)
@@ -667,6 +671,7 @@ class ResultStore:
                 if row is not None:
                     campaign = {
                         "dut": row["dut"],
+                        "composition": row["composition"],
                         "stand": row["stand"],
                         "policy": row["policy"],
                         "backend": row["backend"],
@@ -852,6 +857,7 @@ class _AnonymousSpec:
     """Neutral campaign fields for reports recorded with faults but no spec."""
 
     dut = None
+    composition = None
     stand = None
     policy = "first_fit"
     backend = "auto"

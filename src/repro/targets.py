@@ -49,7 +49,7 @@ from __future__ import annotations
 import functools
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from .analysis.campaign import CampaignResult, FaultCampaign
 from .analysis.faults import (
@@ -57,6 +57,8 @@ from .analysis.faults import (
     FaultModel,
     central_locking_faults,
     exterior_light_faults,
+    instrument_cluster_faults,
+    interaction_faults,
     interior_light_faults,
     window_lifter_faults,
     wiper_faults,
@@ -68,12 +70,16 @@ from .core.signals import Signal, SignalDirection, SignalKind, SignalSet
 from .core.testdef import TestSuite
 from .core.xmlparse import read_script
 from .dut.central_locking import CentralLockingEcu
+from .dut.composition import CompositionHarness, EcuAssembly
 from .dut.exterior_light import ExteriorLightEcu
 from .dut.harness import TestHarness
+from .dut.instrument_cluster import InstrumentClusterEcu
 from .dut.interior_light import InteriorLightEcu
 from .dut.window_lifter import WindowLifterEcu
 from .dut.wiper import WiperEcu
 from .methods import default_registry
+from .paper.cluster import cluster_harness, cluster_signal_set, cluster_suite
+from .paper.composed import COMPOSITION_NAME, composed_suite
 from .paper.example import interior_harness, paper_signal_set
 from .paper.extended import (
     extended_suite,
@@ -109,14 +115,21 @@ __all__ = [
     "SignalDerivationWarning",
     "DutTarget",
     "StandTarget",
+    "CompositionMember",
+    "CompositionTarget",
     "register_dut",
     "register_stand",
+    "register_composition",
     "unregister_dut",
     "unregister_stand",
+    "unregister_composition",
     "get_dut",
     "get_stand",
+    "get_composition",
     "dut_names",
     "stand_names",
+    "composition_names",
+    "iter_compositions",
     "adaptable_stand_names",
     "campaignable_dut_names",
     "iter_duts",
@@ -529,6 +542,324 @@ def stand_factories_for(dut: str | DutTarget,
 
 
 # ---------------------------------------------------------------------------
+# Multi-ECU compositions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompositionMember:
+    """One member slot of a composition: a short alias bound to a DUT.
+
+    The alias is the member's address inside the composition - in fault
+    names (``cluster.speed_tx_truncated``), on the shared CAN bus (the
+    member's node name) and in diagnostics.
+    """
+
+    alias: str
+    dut: str
+
+    def __post_init__(self) -> None:
+        if not str(self.alias).strip():
+            raise TargetError("composition member needs an alias")
+        if not str(self.dut).strip():
+            raise TargetError("composition member needs a DUT name")
+        object.__setattr__(self, "alias", str(self.alias).strip().lower())
+        object.__setattr__(self, "dut", str(self.dut).strip())
+
+
+@dataclass(frozen=True)
+class CompositionTarget:
+    """Several registered DUTs campaigned together on one shared CAN bus.
+
+    A composition references its members by *registered DUT name*, so the
+    member wiring knowledge (harness factory, adapter pins, fault
+    catalogue) stays in one place - the :class:`DutTarget` registry.  What
+    the composition adds:
+
+    ``suite_factory``
+        the interaction suite, whose signal sheet carries
+        ``SignalSet.composition`` so single-ECU execution layers (the
+        bytecode VM) can decline it and degrade gracefully,
+    ``faults_factory``
+        the composed catalogue: every member fault - bundled and
+        *interaction* faults (:func:`repro.analysis.faults.interaction_faults`)
+        alike - addressed per member as ``alias.fault_name``,
+    ``pins``
+        the union of the member adapters, which is what an adaptable stand
+        must be wired to,
+    ``expected_overrides``
+        per-composed-fault detection expectations where the composed suite's
+        coverage differs from the member suite's (``(("cluster.gauge_stuck_zero",
+        False),)`` - the interaction sheets never probe the gauge).
+
+    All factories stay module-level/partial-of-module-level, so composed
+    campaign jobs remain picklable for the process backend.
+    """
+
+    name: str
+    members: tuple[CompositionMember, ...]
+    suite_factory: Callable[[], TestSuite]
+    description: str = ""
+    expected_overrides: tuple[tuple[str, bool], ...] = ()
+    required_methods: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise TargetError("composition target needs a name")
+        members = tuple(
+            member if isinstance(member, CompositionMember)
+            else CompositionMember(*member)
+            for member in self.members
+        )
+        if len(members) < 2:
+            raise TargetError(
+                f"composition {self.name!r} needs at least two members"
+            )
+        aliases = [member.alias for member in members]
+        if len(set(aliases)) != len(aliases):
+            raise TargetError(
+                f"composition {self.name!r} has duplicate member aliases"
+            )
+        object.__setattr__(self, "members", members)
+        object.__setattr__(
+            self, "expected_overrides",
+            tuple((str(key).lower(), bool(value))
+                  for key, value in self.expected_overrides),
+        )
+        if self.required_methods is None:
+            try:
+                suite = self.suite_factory()
+                required = sorted({
+                    suite.statuses.get(name).method.lower()
+                    for name in suite.statuses_used()
+                })
+            except Exception:
+                required = None
+            object.__setattr__(
+                self, "required_methods",
+                tuple(required) if required is not None else None,
+            )
+        else:
+            object.__setattr__(
+                self, "required_methods",
+                tuple(str(m).lower() for m in self.required_methods),
+            )
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    @property
+    def campaignable(self) -> bool:
+        """Compositions always campaign: members bring their catalogues."""
+        return True
+
+    def member_for(self, alias: str) -> CompositionMember:
+        wanted = str(alias).lower()
+        for member in self.members:
+            if member.alias == wanted:
+                return member
+        raise TargetError(
+            f"composition {self.name!r} has no member {alias!r} "
+            f"(members: {', '.join(m.alias for m in self.members)})"
+        )
+
+    def dut_targets(self) -> tuple[tuple[CompositionMember, DutTarget], ...]:
+        """(member, registered DUT target) pairs in member order."""
+        return tuple(
+            (member, get_dut(member.dut)) for member in self.members
+        )
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        """Union of the member adapter pin lists, in member order.
+
+        Cross-member pin collisions are a definition error here (and an
+        ``M-PIN-COLLISION`` lint finding); every member must declare an
+        explicit adapter so the union is well defined.
+        """
+        seen: dict[str, str] = {}
+        for member, target in self.dut_targets():
+            if target.pins is None:
+                raise TargetError(
+                    f"composition {self.name!r}: member {member.alias!r} "
+                    f"(DUT {target.name!r}) declares no adapter pin list"
+                )
+            for pin in target.pins:
+                owner = seen.get(pin.lower())
+                if owner is not None:
+                    raise TargetError(
+                        f"composition {self.name!r}: adapter pin {pin!r} of "
+                        f"member {member.alias!r} collides with member "
+                        f"{owner!r}"
+                    )
+                seen[pin.lower()] = member.alias
+        pins: dict[str, None] = {}
+        for _member, target in self.dut_targets():
+            for pin in target.pins:
+                pins.setdefault(pin, None)
+        return tuple(pins)
+
+    def member_fault(self, alias: str, fault: str) -> FaultModel:
+        """Resolve ``alias``'s fault *fault* - bundled catalogue first, then
+        the member's interaction faults."""
+        member = self.member_for(alias)
+        target = get_dut(member.dut)
+        catalogues = []
+        if target.faults_factory is not None:
+            catalogues.append(target.faults_factory())
+        catalogues.append(interaction_faults(target.name))
+        for catalogue in catalogues:
+            try:
+                return catalogue.get(fault)
+            except ReproError:
+                continue
+        known = [
+            f"{member.alias}.{name}"
+            for catalogue in catalogues for name in catalogue.names
+        ]
+        raise TargetError(
+            f"composition {self.name!r}: member {alias!r} has no fault "
+            f"{fault!r}; known member faults: {', '.join(known) or '(none)'}"
+        )
+
+    def build_assembly(self, faulty: Mapping[str, str] | None = None
+                       ) -> EcuAssembly:
+        """A fresh member assembly, optionally with some members faulted.
+
+        *faulty* maps member alias -> member fault name; members not named
+        are built healthy.
+        """
+        faulted = {
+            str(alias).lower(): str(name)
+            for alias, name in (faulty or {}).items()
+        }
+        unknown = set(faulted) - {member.alias for member in self.members}
+        if unknown:
+            raise TargetError(
+                f"composition {self.name!r} has no member(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        built = []
+        for member, target in self.dut_targets():
+            fault_name = faulted.get(member.alias)
+            if fault_name is None:
+                ecu = target.ecu_factory()
+            else:
+                ecu = self.member_fault(member.alias, fault_name).build()
+            built.append((member.alias, ecu))
+        return EcuAssembly(built, name=self.name)
+
+    def faults_factory(self) -> FaultCatalogue:
+        """The composed fault catalogue, addressed per member.
+
+        Every bundled member fault and every member interaction fault
+        appears as ``alias.fault_name``; the fault factory rebuilds the
+        whole assembly with exactly that member faulted (picklable via
+        :func:`functools.partial` over registry names).
+        """
+        overrides = dict(self.expected_overrides)
+        entries = []
+        for member, target in self.dut_targets():
+            source: list[FaultModel] = []
+            if target.faults_factory is not None:
+                source.extend(target.faults_factory())
+            source.extend(interaction_faults(target.name))
+            for fault in source:
+                key = f"{member.alias}.{fault.name}"
+                entries.append(FaultModel(
+                    key,
+                    f"[{member.alias}] {fault.description}",
+                    functools.partial(_build_member_faulted_assembly,
+                                      self.name, member.alias, fault.name),
+                    expected_detected=overrides.get(
+                        key.lower(), fault.expected_detected),
+                ))
+        return FaultCatalogue(self.name, entries)
+
+
+_COMPOSITIONS: dict[str, CompositionTarget] = {}
+
+
+def register_composition(target: CompositionTarget, *,
+                         replace_existing: bool = False) -> CompositionTarget:
+    """Register a :class:`CompositionTarget`."""
+    if not isinstance(target, CompositionTarget):
+        raise TargetError(
+            f"expected a CompositionTarget, got {type(target).__name__}"
+        )
+    if target.key in _COMPOSITIONS and not replace_existing:
+        raise TargetError(
+            f"composition target {target.name!r} is already registered"
+        )
+    _COMPOSITIONS[target.key] = target
+    return target
+
+
+def unregister_composition(name: str) -> CompositionTarget:
+    """Remove a composition target (mainly for tests/plugins)."""
+    try:
+        return _COMPOSITIONS.pop(str(name).lower())
+    except KeyError as exc:
+        raise TargetError(f"no registered composition target {name!r}") from exc
+
+
+def get_composition(name: str) -> CompositionTarget:
+    """Look a composition target up by (case-insensitive) name."""
+    try:
+        return _COMPOSITIONS[str(name).lower()]
+    except KeyError as exc:
+        raise TargetError(
+            f"unknown composition {name!r}; registered compositions: "
+            f"{sorted(_COMPOSITIONS)}"
+        ) from exc
+
+
+def composition_names() -> tuple[str, ...]:
+    """Registered composition names, sorted."""
+    return tuple(sorted(target.name for target in _COMPOSITIONS.values()))
+
+
+def iter_compositions() -> tuple[CompositionTarget, ...]:
+    """All registered composition targets in registration order."""
+    return tuple(_COMPOSITIONS.values())
+
+
+def _default_adaptable_stand() -> str:
+    """First registered adaptable stand: a composition's adapter is the
+    union of its members' pin lists, so only adaptable stands qualify."""
+    for stand in _STANDS.values():
+        if stand.adaptable:
+            return stand.name
+    raise TargetError("no registered stand carries a DUT adapter")
+
+
+# Module-level assembly/harness builders: ``functools.partial`` over these
+# (with registry *names*, never live objects) is what keeps composed
+# campaign jobs picklable for the process backend.
+
+def _build_assembly(composition: str) -> EcuAssembly:
+    """A healthy member assembly of the named composition."""
+    return get_composition(composition).build_assembly()
+
+
+def _build_member_faulted_assembly(composition: str, alias: str,
+                                   fault: str) -> EcuAssembly:
+    """The named composition's assembly with one member faulted."""
+    return get_composition(composition).build_assembly({alias: fault})
+
+
+def _build_composition_harness(composition: str,
+                               assembly: EcuAssembly) -> CompositionHarness:
+    """Member harnesses (from their registered factories) on one shared bus."""
+    comp = get_composition(composition)
+    harnesses = {
+        member.alias: target.harness_factory(assembly.member(member.alias))
+        for member, target in comp.dut_targets()
+    }
+    return CompositionHarness(assembly, harnesses)
+
+
+# ---------------------------------------------------------------------------
 # Stand capability negotiation
 # ---------------------------------------------------------------------------
 
@@ -730,6 +1061,12 @@ def _run_lint_preflight(dut: str) -> None:
     preflight_lint(dut)
 
 
+def _run_lint_preflight_composition(name: str) -> None:
+    # Imported lazily, same as _run_lint_preflight.
+    from .lint import preflight_lint_composition
+    preflight_lint_composition(name)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """Declarative description of one script execution.
@@ -738,6 +1075,10 @@ class RunSpec:
     path of an XML script file.  ``dut`` defaults to the script's own DUT
     name; ``signals`` overrides the registered signal set; ``stand=None``
     picks a stand carrying the DUT's adapter (:func:`default_stand_for`).
+    ``composition`` targets a registered :class:`CompositionTarget` instead
+    of a single DUT: the script then runs against the composed assembly on
+    a shared-bus :class:`~repro.dut.CompositionHarness` (mutually exclusive
+    with ``dut``).
     ``preflight`` selects the pre-flight depth (:data:`PREFLIGHT_MODES`):
     ``"lint"`` runs the static analyzer over the target first and raises
     :class:`~repro.lint.LintError` on error-severity findings.
@@ -747,18 +1088,49 @@ class RunSpec:
     stand: str | None = None
     policy: str = "first_fit"
     dut: str | None = None
+    composition: str | None = None
     signals: SignalSet | None = None
     stop_on_error: bool = False
     preflight: str = "coverage"
 
     def __post_init__(self) -> None:
         _check_preflight(self.preflight)
+        if self.dut is not None and self.composition is not None:
+            raise ConfigurationError(
+                "a run spec targets either a dut or a composition, not both"
+            )
+
+
+def _run_single_composed(spec: RunSpec, script: TestScript) -> TestResult:
+    comp = get_composition(spec.composition)
+    if script.dut and script.dut.lower() != comp.key:
+        raise TargetError(
+            f"script {script.name!r} is for DUT {script.dut!r} but the run "
+            f"spec targets composition {comp.name!r}"
+        )
+    stand_target = get_stand(spec.stand or _default_adaptable_stand())
+    stand_factory = stand_target.factory_for(comp.pins)
+    _require_method_coverage(stand_target, script.methods_used(),
+                             dut=comp.name)
+    if spec.preflight == "lint":
+        _run_lint_preflight_composition(comp.name)
+    assembly = _build_assembly(comp.name)
+    harness = _build_composition_harness(comp.name, assembly)
+    signals = spec.signals if spec.signals is not None \
+        else comp.suite_factory().signals
+    interpreter = TestStandInterpreter(
+        stand_factory(), harness, signals, policy=spec.policy,
+        stop_on_error=spec.stop_on_error,
+    )
+    return interpreter.run(script)
 
 
 def run_single(spec: RunSpec) -> TestResult:
     """Expand a :class:`RunSpec` through the registry and execute it."""
     script = spec.script if isinstance(spec.script, TestScript) \
         else read_script(spec.script)
+    if spec.composition is not None:
+        return _run_single_composed(spec, script)
     if spec.dut is not None and script.dut \
             and spec.dut.lower() != script.dut.lower():
         raise TargetError(
@@ -801,6 +1173,14 @@ class CampaignSpec:
     (:func:`default_stand_for`), so every registered DUT campaigns without
     the caller knowing its pinning.
 
+    ``composition`` (mutually exclusive with ``dut``) campaigns a
+    registered :class:`CompositionTarget` instead: the interaction suite
+    runs against the composed assembly on a shared CAN bus, and ``faults``
+    selects per-member entries (``alias.fault_name``) from the composed
+    catalogue.  The executor machinery is untouched - a composed job's
+    ECU factory simply builds an assembly and its harness factory a
+    :class:`~repro.dut.CompositionHarness`.
+
     ``backend`` / ``jobs`` / ``concurrency`` describe execution:
     ``backend`` is one of
     :data:`~repro.teststand.executor.EXECUTION_BACKENDS` (or ``"auto"``),
@@ -836,6 +1216,7 @@ class CampaignSpec:
     """
 
     dut: str | None = None
+    composition: str | None = None
     suite: TestSuite | None = None
     workbook: str | None = None
     stand: str | None = None
@@ -853,6 +1234,11 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         _check_preflight(self.preflight)
+        if self.dut is not None and self.composition is not None:
+            raise ConfigurationError(
+                "a campaign spec targets either a dut or a composition, "
+                "not both"
+            )
         faults = self.faults
         if faults is None:
             faults = ()
@@ -910,6 +1296,46 @@ def select_faults(catalogue: FaultCatalogue,
         ) from exc
 
 
+def _build_composed_campaign(spec: CampaignSpec, *,
+                             executor: Executor | None = None
+                             ) -> tuple[FaultCampaign, list[FaultModel]]:
+    comp = get_composition(spec.composition)
+    suite = spec.suite if spec.suite is not None else comp.suite_factory()
+    if suite.dut.lower() != comp.key:
+        raise TargetError(
+            f"suite is for DUT {suite.dut!r} but the campaign targets "
+            f"composition {comp.name!r}"
+        )
+    faults = select_faults(comp.faults_factory(), spec.faults)
+    scripts = Compiler().compile_suite(suite)
+    stand_target = get_stand(spec.stand or _default_adaptable_stand())
+    stand_factory = stand_target.factory_for(comp.pins)
+    _require_method_coverage(
+        stand_target,
+        sorted({method for script in scripts for method in script.methods_used()}),
+        dut=comp.name,
+    )
+    if spec.preflight == "lint":
+        _run_lint_preflight_composition(comp.name)
+    if executor is None:
+        executor = make_executor(spec.backend, spec.jobs,
+                                 concurrency=spec.concurrency)
+    campaign = FaultCampaign(
+        scripts,
+        suite.signals,
+        stand_factory,
+        functools.partial(_build_composition_harness, comp.name),
+        functools.partial(_build_assembly, comp.name),
+        policy=spec.policy,
+        executor=executor,
+        max_attempts=1 + max(0, spec.retries),
+        use_plans=spec.use_plans,
+        reuse_stands=spec.reuse_stands,
+        use_vm=spec.use_vm,
+    )
+    return campaign, faults
+
+
 def build_campaign(spec: CampaignSpec, *,
                    executor: Executor | None = None
                    ) -> tuple[FaultCampaign, list[FaultModel]]:
@@ -922,6 +1348,8 @@ def build_campaign(spec: CampaignSpec, *,
     precedence over the spec's ``backend`` / ``jobs`` / ``concurrency``
     fields, which are then not consulted at all.
     """
+    if spec.composition is not None:
+        return _build_composed_campaign(spec, executor=executor)
     suite = _resolve_suite(spec)
     target = get_dut(spec.dut or suite.dut)
     if target.faults_factory is None:
@@ -1050,4 +1478,29 @@ register_dut(DutTarget(
     suite_factory=exterior_light_suite,
     pins=("PARK_SW", "LOW_BEAM", "DRL", "POSITION_LIGHT"),
     description="exterior lighting",
+))
+register_dut(DutTarget(
+    name=InstrumentClusterEcu.NAME,
+    ecu_factory=InstrumentClusterEcu,
+    harness_factory=cluster_harness,
+    signals_factory=cluster_signal_set,
+    faults_factory=instrument_cluster_faults,
+    suite_factory=cluster_suite,
+    pins=("SPEED_SENSOR", "SPEED_DISP", "LOCK_TELLTALE"),
+    description="instrument cluster (produces the speed broadcast)",
+))
+
+register_composition(CompositionTarget(
+    name=COMPOSITION_NAME,
+    members=(
+        CompositionMember("lock", CentralLockingEcu.NAME),
+        CompositionMember("cluster", InstrumentClusterEcu.NAME),
+    ),
+    suite_factory=composed_suite,
+    description="central locking fed by the real instrument cluster's "
+                "speed broadcast on one shared CAN bus",
+    # The interaction sheets never probe the speedometer gauge, so a
+    # gauge defect that the cluster's own suite catches is - expectedly -
+    # invisible when composed.
+    expected_overrides=(("cluster.gauge_stuck_zero", False),),
 ))

@@ -346,6 +346,18 @@ def compile_program(
     # Imported lazily: plan.py imports this module at its top level.
     from .plan import PlanEntry, action_is_measurement  # noqa: F401
 
+    if getattr(signals, "composition", None):
+        # Multi-ECU compositions are VM-inexpressible by design: the VM's
+        # instruction set models exactly one ECU behind the harness, while a
+        # composed sheet's stimuli and checks fan out across members on a
+        # shared bus.  Declining here makes ``use_vm=True`` degrade to the
+        # classic plan path, keeping verdicts byte-identical with/without
+        # the VM (the parity matrix enforces that).
+        raise VmCompileError(
+            f"script {script.name!r}: signal sheet belongs to composition "
+            f"{signals.composition!r}; the VM models a single ECU"
+        )
+
     entry_iter = iter(entries)
 
     def compile_action(action: SignalAction) -> list[VmOp]:

@@ -28,7 +28,6 @@ from repro.core.script import MethodCall, ScriptStep, SignalAction, TestScript
 from repro.dut import InteriorLightEcu
 from repro.instruments import Dvm, ResistorDecade
 from repro.paper import extended_suite, interior_harness, paper_signal_set, paper_suite
-from repro.targets import CampaignSpec, run_campaign
 from repro.teststand import (
     AsyncExecutor,
     SerialExecutor,
@@ -66,24 +65,8 @@ def _paper_jobs(stands: int = 4, *, io_delay: float = 0.0, stop_on_error: bool =
 # ---------------------------------------------------------------------------
 
 class TestAsyncDeterminism:
-    def test_verdict_table_matches_serial(self):
-        jobs = _paper_jobs(stands=4)
-        serial = run_jobs(jobs, SerialExecutor())
-        async_ = run_jobs(jobs, AsyncExecutor(concurrency=4))
-        assert serial.verdict_table() == async_.verdict_table()
-        assert async_.backend == "async"
-        assert async_.workers == 1
-        assert async_.ok
-
-    def test_campaign_spec_matches_serial(self):
-        """The acceptance criterion: backend="async" in a CampaignSpec yields
-        the byte-identical verdict table to backend="serial"."""
-        serial = run_campaign(CampaignSpec(dut="interior_light_ecu", backend="serial"))
-        async_ = run_campaign(CampaignSpec(dut="interior_light_ecu",
-                                           backend="async", concurrency=8))
-        assert serial.table() == async_.table()
-        assert serial.summary() == async_.summary()
-        assert async_.execution.backend == "async"
+    """Async-vs-serial verdict-table byte-identity lives in
+    ``test_parity_matrix.py``; here only the async-specific contract."""
 
     def test_aexecute_job_equals_execute_job(self):
         job = _paper_jobs(stands=1)[0]

@@ -9,6 +9,7 @@ from repro.can import (
     CanBus,
     CanDatabase,
     CanFrame,
+    DuplicateNodeError,
     MessageDefinition,
     SignalCoding,
     pack_field,
@@ -143,6 +144,24 @@ class TestCanDatabase:
 
 
 class TestCanBus:
+    def test_duplicate_node_name_raises_structured_error(self):
+        """Node names attribute bus traffic; a duplicate must fail loudly
+        with the offending bus and node carried on the exception."""
+        bus = CanBus(name="body_bus")
+        bus.attach("ecu")
+        with pytest.raises(DuplicateNodeError) as excinfo:
+            bus.attach("ecu")
+        assert excinfo.value.bus == "body_bus"
+        assert excinfo.value.node == "ecu"
+        assert "ecu" in str(excinfo.value)
+        # Stays a ValueError_ so pre-existing handlers keep working.
+        assert isinstance(excinfo.value, ValueError_)
+        # The failed attach must not have registered the duplicate: the
+        # original node still receives traffic exactly once.
+        other = bus.attach("other")
+        other.transmit(CanFrame(0x1, b"\x01"))
+        assert len(bus.nodes) == 2
+
     def test_broadcast_excludes_sender(self):
         bus = CanBus()
         a = bus.attach("a")

@@ -150,7 +150,17 @@ class TestCampaignExitCodes:
         with pytest.raises(SystemExit) as excinfo:
             main_campaign([])
         assert excinfo.value.code == 2
-        assert "workbook directory or --dut" in capsys.readouterr().err
+        assert "--dut NAME or --compose NAME is required" in capsys.readouterr().err
+
+    def test_dut_and_compose_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main_campaign(["--dut", "wiper_ecu", "--compose", "lock+cluster"])
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_composition_is_exit_2(self, capsys):
+        assert main_campaign(["--compose", "gone"]) == 2
+        assert "unknown composition" in capsys.readouterr().err
 
     def test_dirty_baseline_is_exit_1(self, tmp_path, capsys):
         workbook = str(tmp_path / "wb")

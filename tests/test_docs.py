@@ -93,6 +93,25 @@ class TestDocsMatchCode:
         architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
         assert "execution-vm.md" in architecture
 
+    def test_composition_doc_matches_registry_and_lint(self):
+        """The composition doc's commands, names and rules must be real."""
+        doc = (REPO_ROOT / "docs" / "composition.md").read_text()
+        from repro.lint.composition import RULES
+        from repro.targets import get_composition
+        comp = get_composition("lock+cluster")
+        assert "repro-campaign --compose lock+cluster" in doc
+        for member in comp.members:
+            assert f"`{member.alias}`" in doc
+        for rule in RULES:
+            assert f"`{rule.id}`" in doc
+        # The documented seeded escape exists and is addressed per member.
+        assert "cluster.speed_tx_truncated" in doc
+        assert "cluster.speed_tx_truncated" in comp.faults_factory().names
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "repro-campaign --compose lock+cluster" in readme
+        architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        assert "composition.md" in architecture
+
     def test_writing_a_dut_cribs_from_real_apis(self):
         guide = (REPO_ROOT / "docs" / "writing-a-dut.md").read_text()
         from repro.analysis.faults import FaultCatalogue, FaultModel  # noqa: F401

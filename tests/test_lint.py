@@ -22,6 +22,7 @@ import math
 import pytest
 
 from repro.analysis.faults import FaultCatalogue, FaultModel
+from repro.can import CanDatabase, MessageDefinition
 from repro.cli import main_campaign
 from repro.core.compiler import Compiler
 from repro.core.errors import ConfigurationError, ValueError_
@@ -30,12 +31,15 @@ from repro.core.signals import Signal, SignalDirection, SignalKind, SignalSet
 from repro.core.status import StatusDefinition, StatusTable
 from repro.core.testdef import TestDefinition, TestSuite
 from repro.core.values import Interval
+from repro.dut import InstrumentClusterEcu, TestHarness
 from repro.dut.interior_light import InteriorLightEcu
+from repro.dut.messages import body_can_database
 from repro.lint import (
     ALL_RULES,
     LintError,
     blocking_execute_calls,
     preflight_lint,
+    preflight_lint_composition,
     run_lint,
 )
 from repro.lint.cli import main as lint_main
@@ -46,7 +50,14 @@ from repro.paper.example import (
     paper_status_table,
     paper_suite,
 )
+from repro.paper import cluster_suite
+from repro.paper.composed import (
+    COMPOSITION_NAME,
+    composed_signal_set,
+    composed_suite,
+)
 from repro.targets import (
+    CompositionTarget,
     DutTarget,
     RunSpec,
     TargetError,
@@ -597,5 +608,169 @@ def test_list_targets_lint_column(capsys):
                   if line.strip().startswith("lint:")]
     # one lint line per registered DUT; only the interior light carries
     # the documented escape note, everything else is clean
-    assert lint_lines.count("lint: clean") == 4
+    assert lint_lines.count("lint: clean") == 5
     assert "lint: 1 note(s)" in lint_lines
+
+
+# ---------------------------------------------------------------------------
+# Family M (multi-ECU compositions)
+# ---------------------------------------------------------------------------
+
+def _cluster_toy_fields():
+    from repro.paper import cluster_harness, cluster_signal_set, cluster_suite
+
+    return dict(
+        ecu_factory=InstrumentClusterEcu,
+        harness_factory=cluster_harness,
+        signals_factory=cluster_signal_set,
+        suite_factory=cluster_suite,
+    )
+
+
+def conflicting_speed_harness(ecu=None):
+    """Cluster wiring whose private database redefines VEHICLE_SPEED."""
+    base = body_can_database()
+    original = base.message("VEHICLE_SPEED")
+    redefined = MessageDefinition(
+        original.name, original.can_id, original.length + 1,
+        original.signals,
+    )
+    database = CanDatabase(
+        tuple(m for m in base if m.key != original.key) + (redefined,)
+    )
+    return TestHarness(
+        ecu if ecu is not None else InstrumentClusterEcu(), database)
+
+
+def ghost_composed_suite():
+    """The real lock+cluster interaction suite plus two ghost signals: an
+    electrical pin no member owns and a bus message no member defines."""
+    signals = tuple(composed_signal_set()) + (
+        Signal("GHOST_WIRE", SignalDirection.INPUT, SignalKind.RESISTIVE,
+               pins=("NO_SUCH_PIN",)),
+        Signal("GHOST_BUS", SignalDirection.OUTPUT, SignalKind.BUS,
+               message="PHANTOM_MSG"),
+    )
+    base = composed_suite()
+    return TestSuite(
+        base.dut,
+        SignalSet(signals, dut=base.dut, composition=COMPOSITION_NAME),
+        base.statuses,
+        tuple(base),
+    )
+
+
+def standin_composed_suite():
+    """A composed sheet that keeps a stand-synthesised speed input although
+    the cluster member produces VEHICLE_SPEED on the shared bus."""
+    signals = tuple(composed_signal_set()) + (
+        Signal("SPEED_STANDIN", SignalDirection.INPUT, SignalKind.BUS,
+               message="VEHICLE_SPEED"),
+    )
+    base = composed_suite()
+    return TestSuite(
+        base.dut,
+        SignalSet(signals, dut=base.dut, composition=COMPOSITION_NAME),
+        base.statuses,
+        tuple(base),
+    )
+
+
+def _lock_cluster_members():
+    return (("lock", "central_locking_ecu"),
+            ("cluster", "instrument_cluster_ecu"))
+
+
+def test_pin_collision_between_members_is_an_error(toy_dut):
+    toy_dut("toy_left")
+    toy_dut("toy_right")
+    comp = CompositionTarget(
+        "toy_twins", (("l", "toy_left"), ("r", "toy_right")),
+        suite_factory=paper_suite,
+    )
+    report = run_lint(duts=["toy_left", "toy_right"], compositions=[comp])
+    findings = _findings(report, "M-PIN-COLLISION")
+    assert findings
+    assert all(f.severity == "error" and f.dut == "toy_twins"
+               for f in findings)
+    assert report.exit_code == 2
+
+
+def test_two_member_producers_collide_on_the_bus(toy_dut):
+    toy_dut("toy_cluster_a", **_cluster_toy_fields())
+    toy_dut("toy_cluster_b", **_cluster_toy_fields())
+    comp = CompositionTarget(
+        "toy_two_senders",
+        (("a", "toy_cluster_a"), ("b", "toy_cluster_b")),
+        suite_factory=cluster_suite,
+    )
+    report = run_lint(duts=[], compositions=[comp])
+    findings = _findings(report, "M-BUS-COLLISION")
+    assert any("both" in f.message and "transmit" in f.message
+               for f in findings)
+
+
+def test_conflicting_message_definitions_collide(toy_dut):
+    fields = _cluster_toy_fields()
+    fields["harness_factory"] = conflicting_speed_harness
+    toy_dut("toy_redefined", **fields)
+    comp = CompositionTarget(
+        "toy_conflict",
+        (("lock", "central_locking_ecu"), ("cluster", "toy_redefined")),
+        suite_factory=composed_suite,
+    )
+    report = run_lint(duts=[], compositions=[comp])
+    findings = _findings(report, "M-BUS-COLLISION")
+    assert any("conflicts" in f.message for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_unresolved_composed_signals_are_errors():
+    comp = CompositionTarget(
+        "toy_ghosts", _lock_cluster_members(),
+        suite_factory=ghost_composed_suite,
+    )
+    report = run_lint(duts=[], compositions=[comp])
+    findings = _findings(report, "M-UNRESOLVED-SIGNAL")
+    locations = {f.location for f in findings}
+    assert "sheet:signals signal:GHOST_WIRE" in locations
+    assert "sheet:signals signal:GHOST_BUS" in locations
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_stand_in_for_member_broadcast_warns():
+    comp = CompositionTarget(
+        "toy_standin", _lock_cluster_members(),
+        suite_factory=standin_composed_suite,
+    )
+    report = run_lint(duts=[], compositions=[comp])
+    findings = _findings(report, "M-STIMULATED-MEMBER-TX")
+    assert len(findings) == 1
+    assert findings[0].severity == "warning"
+    assert "cluster" in findings[0].message
+    assert "VEHICLE_SPEED" in findings[0].message
+
+
+def test_family_m_negative_on_bundled_registry():
+    report = run_lint(rules=[r.id for r in ALL_RULES if r.id.startswith("M-")])
+    assert report.findings == ()
+
+
+def test_preflight_lint_composition_passes_clean_and_blocks_broken():
+    assert preflight_lint_composition("lock+cluster").errors == ()
+    broken = CompositionTarget(
+        "toy_broken", _lock_cluster_members(),
+        suite_factory=ghost_composed_suite,
+    )
+    with pytest.raises(LintError) as excinfo:
+        preflight_lint_composition(broken)
+    assert any(f.rule == "M-UNRESOLVED-SIGNAL" for f in excinfo.value.findings)
+
+
+def test_cli_composition_filter(capsys):
+    assert lint_main(["--composition", "lock+cluster",
+                      "--rule", "M-PIN-COLLISION", "--rule", "M-BUS-COLLISION",
+                      "--rule", "M-UNRESOLVED-SIGNAL",
+                      "--rule", "M-STIMULATED-MEMBER-TX"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s), 0 note(s)" in out

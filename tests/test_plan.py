@@ -21,7 +21,7 @@ from repro.core.errors import ConfigurationError, InstrumentError, ReproError
 from repro.dut import InteriorLightEcu
 from repro.instruments import Dvm
 from repro.paper import interior_harness, paper_signal_set, paper_suite
-from repro.targets import CampaignSpec, run_campaign
+from repro.targets import CampaignSpec
 from repro.teststand import (
     GLOBAL_PLAN_CACHE,
     PlanCache,
@@ -69,21 +69,8 @@ def _interpreter(stand=None, *, plan_cache=GLOBAL_PLAN_CACHE):
 # ---------------------------------------------------------------------------
 
 class TestPlanDeterminism:
-    @pytest.mark.parametrize("backend,jobs,concurrency", [
-        ("serial", 1, 0), ("thread", 3, 0), ("process", 2, 0), ("async", 1, 4),
-    ])
-    def test_backend_tables_identical_with_plans_on_and_off(
-        self, backend, jobs, concurrency
-    ):
-        results = {}
-        for fast in (True, False):
-            result = run_campaign(CampaignSpec(
-                dut="interior_light_ecu", faults=("lamp_stuck_off", "ignores_ds_fr"),
-                backend=backend, jobs=jobs, concurrency=concurrency,
-                use_plans=fast, reuse_stands=fast,
-            ))
-            results[fast] = (result.table(), result.execution.verdict_table())
-        assert results[True] == results[False]
+    """Plans-on/off byte-identity across all backends lives in
+    ``test_parity_matrix.py``; here the plan-specific contracts."""
 
     def test_single_run_reports_identical(self):
         """Beyond verdicts: the full JSON report matches with plans on/off."""

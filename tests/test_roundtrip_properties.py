@@ -1,0 +1,189 @@
+"""Property-based round-trip tests (seeded ``random``, stdlib only).
+
+Two serialisation layers carry every result this library produces:
+
+* :mod:`repro.can.codec` packs physical signal values into CAN payload
+  integers - if ``decode(encode(v)) != v`` anywhere in the raw range, bus
+  checks silently compare against the wrong value;
+* :mod:`repro.teststand.serialize` is the durable dict form of scripts
+  and execution reports - the result store, the service API and
+  ``--format json`` all assume ``from_dict(to_dict(x))`` loses nothing.
+
+Rather than enumerating hand-picked cases, each test draws a few hundred
+random instances from a fixed seed (deterministic across runs, no
+third-party property framework) and asserts the round trip is exact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.can.codec import SignalCoding, pack_field, unpack_field
+from repro.core import Compiler
+from repro.core.errors import ValueError_
+from repro.core.script import MethodCall, ScriptStep, SignalAction, TestScript
+from repro.dut import InteriorLightEcu
+from repro.paper import interior_harness, paper_signal_set, paper_suite
+from repro.teststand import SerialExecutor, build_paper_stand, expand_jobs, run_jobs
+from repro.teststand.serialize import (
+    report_from_dict,
+    report_to_dict,
+    script_from_dict,
+    script_to_dict,
+)
+
+SEED = 0xB05  # fixed: failures must reproduce byte-for-byte
+
+
+# ---------------------------------------------------------------------------
+# can.codec: pack/unpack and physical encode/decode
+# ---------------------------------------------------------------------------
+
+class TestCodecRoundTrip:
+    def test_pack_unpack_field_is_exact(self):
+        rng = random.Random(SEED)
+        for _ in range(500):
+            bit_length = rng.randint(1, 64)
+            start_bit = rng.randint(0, 64 - bit_length)
+            raw = rng.randint(0, (1 << bit_length) - 1)
+            payload = rng.getrandbits(64)
+            packed = pack_field(payload, start_bit, bit_length, raw)
+            assert unpack_field(packed, start_bit, bit_length) == raw
+
+    def test_pack_leaves_other_bits_untouched(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(500):
+            bit_length = rng.randint(1, 64)
+            start_bit = rng.randint(0, 64 - bit_length)
+            raw = rng.randint(0, (1 << bit_length) - 1)
+            payload = rng.getrandbits(64)
+            packed = pack_field(payload, start_bit, bit_length, raw)
+            mask = ((1 << bit_length) - 1) << start_bit
+            assert packed & ~mask == payload & ~mask
+
+    def test_raw_out_of_field_range_rejected(self):
+        rng = random.Random(SEED + 2)
+        for _ in range(100):
+            bit_length = rng.randint(1, 63)
+            with pytest.raises(ValueError_):
+                pack_field(0, 0, bit_length, 1 << bit_length)
+
+    #: Scalings the shipped catalogues use, plus awkward float edges:
+    #: non-dyadic factors (0.1, 1/3), large offsets, negative offsets.
+    FACTORS = (1.0, 0.1, 0.25, 0.5, 2.0, 10.0, 1.0 / 3.0, 0.125)
+    OFFSETS = (0.0, -40.0, 1.5, 100.0, -0.5)
+
+    def test_encode_decode_physical_is_exact_over_raw_range(self):
+        """Every representable physical value survives encode -> decode.
+
+        Exactness means the *raw* field value round-trips: the physical
+        value is compared through the same float arithmetic ``decode``
+        uses, so a failure is a genuine codec defect, never float noise.
+        """
+        rng = random.Random(SEED + 3)
+        for _ in range(300):
+            bit_length = rng.randint(1, 16)
+            start_bit = rng.randint(0, 64 - bit_length)
+            coding = SignalCoding(
+                "s", start_bit, bit_length,
+                factor=rng.choice(self.FACTORS),
+                offset=rng.choice(self.OFFSETS),
+            )
+            raw = rng.randint(0, coding.max_raw)
+            physical = raw * coding.factor + coding.offset
+            payload = coding.encode(rng.getrandbits(64), physical)
+            assert unpack_field(payload, start_bit, bit_length) == raw
+            assert coding.decode(payload) == physical
+
+    def test_disjoint_codings_decode_independently(self):
+        """Random non-overlapping fields in one payload never interfere."""
+        rng = random.Random(SEED + 4)
+        for _ in range(100):
+            # Partition the 64-bit payload into random disjoint fields.
+            cuts = sorted(rng.sample(range(1, 64), rng.randint(1, 6)))
+            bounds = [0, *cuts, 64]
+            codings, raws = [], []
+            for index in range(len(bounds) - 1):
+                start, end = bounds[index], bounds[index + 1]
+                coding = SignalCoding(f"f{index}", start, end - start)
+                codings.append(coding)
+                raws.append(rng.randint(0, coding.max_raw))
+            payload = 0
+            for coding, raw in zip(codings, raws):
+                payload = pack_field(payload, coding.start_bit,
+                                     coding.bit_length, raw)
+            for coding, raw in zip(codings, raws):
+                assert unpack_field(payload, coding.start_bit,
+                                    coding.bit_length) == raw
+            for a_index, coding_a in enumerate(codings):
+                for coding_b in codings[a_index + 1:]:
+                    assert not coding_a.overlaps(coding_b)
+
+
+# ---------------------------------------------------------------------------
+# teststand.serialize: scripts and execution reports
+# ---------------------------------------------------------------------------
+
+def _random_script(rng: random.Random) -> TestScript:
+    """A structurally random (not necessarily executable) compiled script."""
+    def action() -> SignalAction:
+        method = rng.choice(("put_r", "put_can", "get_u", "wait"))
+        params = {
+            rng.choice(("r", "u", "t", "u_min", "u_max", "value")):
+                str(rng.choice((0, 1, 5.5, "open", "12.0")))
+            for _ in range(rng.randint(1, 3))
+        }
+        signal = rng.choice(("NIGHT", "DS_FR", "INT_ILL", "S_CL"))
+        return SignalAction(signal, MethodCall(method, params))
+
+    steps = [
+        ScriptStep(
+            number=number,
+            duration=rng.choice((0.1, 0.5, 2.0)),
+            actions=tuple(action() for _ in range(rng.randint(1, 4))),
+            remark=rng.choice(("", "a remark", "umlauts")),
+            requirement=rng.choice((None, "REQ-1")),
+        )
+        for number in range(rng.randint(1, 5))
+    ]
+    return TestScript(
+        name=f"random_{rng.randint(0, 10**6)}",
+        dut="interior_light_ecu",
+        steps=steps,
+        setup=tuple(action() for _ in range(rng.randint(0, 2))),
+        variables=tuple(rng.sample(("ubatt", "t", "x"), rng.randint(0, 2))),
+        metadata={"seed": str(rng.randint(0, 99))},
+        description=rng.choice(("", "randomly generated")),
+    )
+
+
+class TestSerializeRoundTrip:
+    def test_random_scripts_round_trip_exactly(self):
+        """``to_dict`` is idempotent across ``from_dict`` and preserves
+        every field, for hundreds of random script shapes."""
+        rng = random.Random(SEED + 5)
+        for _ in range(200):
+            script = _random_script(rng)
+            first = script_to_dict(script)
+            restored = script_from_dict(first)
+            assert script_to_dict(restored) == first
+            # The dict is JSON-safe and stable under a JSON round trip.
+            assert script_to_dict(script_from_dict(
+                json.loads(json.dumps(first)))) == first
+
+    def test_execution_report_round_trips_byte_identically(self):
+        """The documented contract on a genuinely executed report."""
+        scripts = Compiler().compile_suite(paper_suite())
+        jobs = expand_jobs(
+            scripts, paper_signal_set(), {"paper": build_paper_stand},
+            interior_harness,
+            {"baseline": InteriorLightEcu, "again": InteriorLightEcu},
+        )
+        report = run_jobs(jobs, SerialExecutor())
+        first = report_to_dict(report)
+        restored = report_from_dict(first)
+        assert restored.verdict_table() == report.verdict_table()
+        assert report_to_dict(restored) == first

@@ -207,3 +207,21 @@ def test_memory_store_supports_threads():
     assert sorted(ids) == list(store.run_ids())
     assert store.get_run(ids[0]).render() == \
         f"{result.table()}\n{result.summary()}"
+
+
+def test_composition_provenance_round_trips(store_path):
+    """A composed campaign records which composition produced the run."""
+    result = run_campaign(CampaignSpec(
+        composition="lock+cluster",
+        faults=("cluster.speed_tx_truncated", "lock.no_auto_lock"),
+        store=store_path,
+    ))
+    store = ResultStore(store_path)
+    run = store.get_run(result.store_run_id)
+    assert run.campaign["composition"] == "lock+cluster"
+    assert run.campaign["dut"] is None
+    assert run.render() == f"{result.table()}\n{result.summary()}"
+    # Single-DUT campaigns keep NULL composition provenance.
+    single = run_campaign(CampaignSpec(
+        dut="wiper_ecu", faults=("motor_stuck_off",), store=store_path))
+    assert store.get_run(single.store_run_id).campaign["composition"] is None

@@ -28,12 +28,13 @@ from repro.targets import (
 from repro.teststand import TestStand, build_minimal_bench
 
 
-ALL_DUTS = ("central_locking_ecu", "exterior_light_ecu", "interior_light_ecu",
+ALL_DUTS = ("central_locking_ecu", "exterior_light_ecu",
+            "instrument_cluster_ecu", "interior_light_ecu",
             "window_lifter_ecu", "wiper_ecu")
 
 
 class TestRegistry:
-    def test_all_five_bundled_duts_registered(self):
+    def test_all_bundled_duts_registered(self):
         assert targets.dut_names() == ALL_DUTS
         assert targets.campaignable_dut_names() == ALL_DUTS
 
@@ -395,7 +396,7 @@ class TestRunCampaign:
 class TestDeprecatedShims:
     """Pre-registry public names must keep resolving (CAMPAIGN_TARGETS era)."""
 
-    def test_cli_campaign_targets_cover_all_five_duts(self):
+    def test_cli_campaign_targets_cover_all_bundled_duts(self):
         from repro.cli import CAMPAIGN_TARGETS, CampaignTarget
 
         assert sorted(CAMPAIGN_TARGETS) == list(ALL_DUTS)
@@ -468,3 +469,126 @@ class TestDeprecatedShims:
         assert repro.CampaignSpec is CampaignSpec
         assert repro.DutTarget is DutTarget
         assert repro.StandTarget is StandTarget
+
+
+# ---------------------------------------------------------------------------
+# Multi-ECU compositions
+# ---------------------------------------------------------------------------
+
+class TestCompositions:
+    def test_bundled_composition_registered(self):
+        from repro.targets import composition_names, get_composition
+
+        assert "lock+cluster" in composition_names()
+        comp = get_composition("lock+cluster")
+        assert [m.alias for m in comp.members] == ["lock", "cluster"]
+        assert comp.member_for("cluster").dut == "instrument_cluster_ecu"
+        with pytest.raises(TargetError):
+            get_composition("no_such_composition")
+
+    def test_register_unregister_round_trip(self):
+        from repro.targets import (
+            CompositionTarget,
+            composition_names,
+            register_composition,
+            unregister_composition,
+        )
+        from repro.paper import composed_suite
+
+        toy = CompositionTarget(
+            "toy_comp",
+            (("a", "central_locking_ecu"), ("b", "instrument_cluster_ecu")),
+            suite_factory=composed_suite,
+        )
+        register_composition(toy)
+        try:
+            assert "toy_comp" in composition_names()
+            with pytest.raises(TargetError):
+                register_composition(toy)  # duplicate name
+        finally:
+            unregister_composition("toy_comp")
+        assert "toy_comp" not in composition_names()
+
+    def test_composition_target_validation(self):
+        from repro.targets import CompositionTarget
+        from repro.paper import composed_suite
+
+        with pytest.raises(TargetError):
+            CompositionTarget("lonely", (("a", "wiper_ecu"),),
+                              suite_factory=composed_suite)
+        with pytest.raises(TargetError):
+            CompositionTarget(
+                "dupes", (("a", "wiper_ecu"), ("a", "interior_light_ecu")),
+                suite_factory=composed_suite)
+
+    def test_pins_are_member_union_in_member_order(self):
+        from repro.targets import get_composition, get_dut
+
+        comp = get_composition("lock+cluster")
+        lock_pins = get_dut("central_locking_ecu").pins
+        cluster_pins = get_dut("instrument_cluster_ecu").pins
+        assert comp.pins == tuple(lock_pins) + tuple(cluster_pins)
+
+    def test_member_faults_cover_bundled_and_interaction(self):
+        from repro.targets import get_composition
+
+        comp = get_composition("lock+cluster")
+        names = comp.faults_factory().names
+        assert "lock.no_auto_lock" in names
+        assert "cluster.speed_tx_truncated" in names      # interaction-only
+        escape = comp.faults_factory().get("cluster.gauge_stuck_zero")
+        assert escape.expected_detected is False          # documented override
+        with pytest.raises(TargetError):
+            comp.member_fault("cluster", "no_such_fault")
+        with pytest.raises(TargetError):
+            comp.member_fault("nobody", "no_auto_lock")
+
+    def test_spec_mutual_exclusion(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(dut="wiper_ecu", composition="lock+cluster")
+        with pytest.raises(ConfigurationError):
+            RunSpec(script="x.xml", dut="wiper_ecu",
+                    composition="lock+cluster")
+
+    def test_composed_campaign_detects_the_interaction_escape(self):
+        result = run_campaign(CampaignSpec(
+            composition="lock+cluster",
+            faults=("cluster.speed_tx_truncated",),
+        ))
+        assert result.baseline_clean
+        assert result.detected == ("cluster.speed_tx_truncated",)
+
+    def test_single_dut_suite_provably_misses_the_escape(self):
+        """The composition's reason to exist: the cluster's own suite
+        passes with the truncating broadcast fault injected - only the
+        cross-ECU interaction sheets catch it."""
+        from repro.analysis import FaultCampaign
+        from repro.analysis.faults import interaction_faults
+        from repro.dut import InstrumentClusterEcu
+        from repro.paper import cluster_harness, cluster_signal_set, cluster_suite
+        from repro.targets import default_stand_for, stand_factory_for, get_dut
+
+        dut = get_dut("instrument_cluster_ecu")
+        campaign = FaultCampaign(
+            Compiler().compile_suite(cluster_suite()),
+            cluster_signal_set(),
+            stand_factory_for(default_stand_for(dut), dut),
+            cluster_harness,
+            InstrumentClusterEcu,
+        )
+        result = campaign.run(
+            [interaction_faults("instrument_cluster_ecu").get("speed_tx_truncated")]
+        )
+        assert result.baseline_clean
+        assert result.undetected == ("speed_tx_truncated",)
+
+    def test_run_single_composed_sheet(self):
+        from repro.paper import composed_suite
+
+        script = Compiler().compile_test(composed_suite(),
+                                         "composed_unlock_inhibit")
+        result = run_single(RunSpec(script=script,
+                                    composition="lock+cluster"))
+        assert result.passed

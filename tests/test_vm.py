@@ -27,7 +27,7 @@ from repro.dut import InteriorLightEcu
 from repro.instruments import Dvm
 from repro.instruments.base import Instrument
 from repro.paper import interior_harness, paper_signal_set, paper_suite
-from repro.targets import CampaignSpec, get_dut, iter_duts, run_campaign
+from repro.targets import get_dut, iter_duts
 from repro.teststand import (
     Allocator,
     PlanCache,
@@ -47,7 +47,6 @@ from repro.teststand.vm import (
     merge_waits,
 )
 
-BACKENDS = (("serial", 1, 0), ("thread", 3, 0), ("process", 2, 0), ("async", 1, 4))
 
 SUITE_DUTS = tuple(d.name for d in iter_duts() if d.suite_factory is not None)
 
@@ -94,20 +93,8 @@ class TestVmParity:
         # pass must have been served by the VM.
         assert cache_on.stats.snapshot()["vm_runs"] >= len(with_vm)
 
-    @pytest.mark.parametrize("backend,jobs,concurrency", BACKENDS)
-    def test_backend_tables_identical_vm_on_off(self, backend, jobs,
-                                                concurrency):
-        results = {}
-        for use_vm in (True, False):
-            result = run_campaign(CampaignSpec(
-                dut="interior_light_ecu",
-                faults=("lamp_stuck_off", "ignores_ds_fr"),
-                backend=backend, jobs=jobs, concurrency=concurrency,
-                use_vm=use_vm,
-            ))
-            results[use_vm] = (result.table(),
-                               result.execution.verdict_table())
-        assert results[True] == results[False]
+    # VM-on/off byte-identity across all backends lives in
+    # ``test_parity_matrix.py``.
 
 
 # ---------------------------------------------------------------------------

@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.7.0",
+    version="1.8.0",
     description="Reproduction of 'A New Approach to Component Testing' "
                 "(Brinkmeyer, DATE 2005)",
     package_dir={"": "src"},

@@ -59,9 +59,17 @@ together per device under test:
     (``CampaignService``), a WSGI JSON API (``repro-serve``) and a static
     HTML report generator - not imported here so the base import stays
     light; ``import repro.service`` explicitly.
+``repro.chaos``
+    deterministic, seeded infrastructure fault injection (flaky
+    instruments, hangs, glitched readings, dying pool workers, locked
+    stores, crashing service workers) used to exercise the execution
+    stack's resilience machinery - classified retries with backoff,
+    per-job deadlines, stand quarantine and campaign checkpoint/resume
+    (``repro-campaign --chaos-seed/--chaos-profile/--deadline/--resume``,
+    see ``docs/robustness.md``).
 """
 
-from . import analysis, can, core, dut, instruments, methods, paper, sheets, teststand
+from . import analysis, can, chaos, core, dut, instruments, methods, paper, sheets, teststand
 from . import targets
 from . import store
 from .core import (
@@ -97,7 +105,9 @@ from .targets import (
     run_campaign,
     run_single,
 )
+from .chaos import ChaosPolicy, ChaosProfile
 from .teststand import (
+    ResiliencePolicy,
     TestStand,
     TestStandInterpreter,
     build_big_rack,
@@ -106,12 +116,12 @@ from .teststand import (
     run_script,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
     "core", "sheets", "methods", "teststand", "instruments", "dut", "can",
-    "analysis", "paper", "targets", "store",
+    "analysis", "paper", "targets", "store", "chaos",
     "Signal", "SignalDirection", "SignalKind", "SignalSet",
     "StatusDefinition", "StatusTable", "TestDefinition", "TestSuite", "TestScript",
     "Compiler", "CompileOptions", "compile_test", "compile_suite",
@@ -122,4 +132,5 @@ __all__ = [
     "SignalDerivationWarning", "method_coverage",
     "register_dut", "register_stand",
     "RunSpec", "CampaignSpec", "run_single", "run_campaign",
+    "ResiliencePolicy", "ChaosPolicy", "ChaosProfile",
 ]

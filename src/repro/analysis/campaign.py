@@ -15,14 +15,21 @@ insertion-ordered verdict aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import ReproError
 from ..core.script import TestScript
 from ..core.signals import SignalSet
 from ..dut.base import EcuModel
 from ..dut.harness import TestHarness
-from ..teststand.executor import ExecutionReport, Executor, expand_jobs, run_jobs
+from ..teststand.executor import (
+    ExecutionReport,
+    Executor,
+    JobResult,
+    ResiliencePolicy,
+    expand_jobs,
+    run_jobs,
+)
 from ..teststand.report import format_table
 from ..teststand.stands import TestStand
 from ..teststand.verdict import TestResult
@@ -144,6 +151,7 @@ class FaultCampaign:
         policy: str = "first_fit",
         executor: Executor | None = None,
         max_attempts: int = 2,
+        resilience: ResiliencePolicy | None = None,
         use_plans: bool = True,
         reuse_stands: bool = True,
         use_vm: bool = True,
@@ -156,6 +164,9 @@ class FaultCampaign:
         self.policy = policy
         self.executor = executor
         self.max_attempts = max_attempts
+        #: Full executor resilience policy (backoff, deadline, quarantine,
+        #: chaos); overrides ``max_attempts`` when set.
+        self.resilience = resilience
         #: Compile-once-run-many switches forwarded to every job (see
         #: :class:`repro.teststand.executor.Job`); off only for A/B timing.
         self.use_plans = bool(use_plans)
@@ -189,13 +200,25 @@ class FaultCampaign:
         faults: Iterable[FaultModel],
         *,
         executor: Executor | None = None,
+        resilience: ResiliencePolicy | None = None,
+        completed: Mapping[str, JobResult] | None = None,
+        on_result: Callable[[JobResult], None] | None = None,
     ) -> CampaignResult:
-        """Execute the campaign and return its aggregated result."""
+        """Execute the campaign and return its aggregated result.
+
+        *resilience*, *completed* and *on_result* forward to
+        :func:`~repro.teststand.executor.run_jobs`: the full resilience
+        policy, previously checkpointed results to skip, and a streaming
+        callback (e.g. a checkpoint writer) for fresh results.
+        """
         catalogue = tuple(faults)
         report = run_jobs(
             self._expand(catalogue),
             executor or self.executor,
             max_attempts=self.max_attempts,
+            resilience=resilience if resilience is not None else self.resilience,
+            completed=completed,
+            on_result=on_result,
         )
         report.test_results()  # raise early when a job failed terminally
         by_group = report.by_group()

@@ -58,6 +58,7 @@ from .teststand.allocator import ALLOCATION_POLICIES
 from .teststand.executor import EXECUTION_BACKENDS
 from .teststand.report import summary_line, text_report
 from .teststand.verdict import Verdict
+from . import chaos as chaos_mod
 from . import targets
 from .targets import CampaignSpec, RunSpec, TargetError
 
@@ -376,6 +377,21 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--retries", type=int, default=1, metavar="N",
                         help="extra attempts per job after a transient error "
                              "(default: 1; 0 disables retrying)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget shared across its "
+                             "retry attempts; a job that overruns it is "
+                             "reported as an ERROR (JobTimeoutError) "
+                             "instead of hanging the campaign")
+    parser.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                        help="inject deterministic infrastructure faults "
+                             "from this seed (see docs/robustness.md); the "
+                             "same seed reproduces the same fault schedule "
+                             "on every backend")
+    parser.add_argument("--chaos-profile",
+                        choices=sorted(chaos_mod.PROFILES), default=None,
+                        help="which chaos fault mix to inject (default with "
+                             "--chaos-seed: flaky-instruments)")
     parser.add_argument("--vm", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="execute runs on the compiled bytecode VM when "
@@ -390,6 +406,12 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
                              "is reported on stderr and the stored run "
                              "re-renders this stdout byte-identically via "
                              "repro-report --store PATH --run ID")
+    parser.add_argument("--resume", action="store_true",
+                        help="checkpoint each finished job into --store and "
+                             "skip jobs already checkpointed by an earlier "
+                             "(killed) run of the same campaign; the final "
+                             "report is byte-identical to an uninterrupted "
+                             "run (requires --store)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="stdout format: the default text verdict "
                              "table, or a single JSON document carrying "
@@ -423,6 +445,12 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
     if args.workbook is None and args.dut is None and args.compose is None:
         parser.error("a workbook directory, --dut NAME or --compose NAME "
                      "is required")
+    if args.resume and args.store is None:
+        parser.error("--resume checkpoints into the result store and needs "
+                     "--store PATH")
+    if args.chaos_profile is not None and args.chaos_seed is None:
+        parser.error("--chaos-profile needs --chaos-seed N (the seed makes "
+                     "the fault schedule deterministic)")
 
     try:
         spec = CampaignSpec(
@@ -438,6 +466,10 @@ def main_campaign(argv: Sequence[str] | None = None) -> int:
             retries=args.retries,
             use_vm=args.vm,
             store=args.store,
+            resume=args.resume,
+            deadline=args.deadline,
+            chaos_seed=args.chaos_seed,
+            chaos_profile=args.chaos_profile or "",
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -8,6 +8,18 @@ errors.  The hierarchy mirrors the tool-chain stages described in the paper:
 * compile-time problems (sheet -> XML generation)       -> ``CompileError``
 * execution-time problems (interpreter on a test stand) -> ``ExecutionError``
 * allocation problems ("no appropriate resource")       -> ``AllocationError``
+
+Orthogonally to the stage taxonomy, errors are classified by
+*recoverability* for the executor's retry machinery
+(:func:`is_transient`): a :class:`TransientError` describes an
+infrastructure hiccup (a flaky instrument round-trip, an allocation race)
+that a retry may well cure, while definition / compile / configuration
+errors are *permanent* - the same job would fail the same way on every
+attempt, so retrying them only wastes wall clock.  Exceptions from outside
+the hierarchy default to transient: an unclassified ``RuntimeError`` from a
+plugin stand may be a race, and dropping a job over it would be worse than
+one wasted attempt (``repro-lint``'s X-UNCLASSIFIED-RAISE rule nudges
+plugin authors towards the explicit taxonomy).
 """
 
 from __future__ import annotations
@@ -122,6 +134,51 @@ class InstrumentError(ExecutionError):
     """A virtual instrument was driven outside its operating envelope."""
 
 
+class TransientError(ReproError):
+    """A recoverable infrastructure hiccup; the executor may retry the job.
+
+    Raise (or subclass) this for failures where a fresh attempt has a real
+    chance of succeeding: a dropped instrument connection, a worker racing
+    another over a shared stand, a briefly locked store.  The interpreter
+    deliberately lets transients *propagate* instead of absorbing them into
+    ERROR verdicts, so the executor's retry layer sees them and a recovered
+    job's verdicts are indistinguishable from an undisturbed run.
+    """
+
+
+class InstrumentIOError(TransientError, InstrumentError):
+    """One (simulated) instrument I/O round-trip failed transiently.
+
+    Both a :class:`TransientError` (the executor retries it) and an
+    :class:`InstrumentError` (it happened inside an instrument): the fault
+    the chaos harness (:mod:`repro.chaos`) injects to prove retries absorb
+    flaky instrument I/O without changing a single verdict.
+    """
+
+
+class JobTimeoutError(ExecutionError):
+    """A job exceeded its wall-clock deadline.
+
+    Deliberately *not* transient: a job that blew its deadline once would
+    blow it again, so the executor fails it fast and reports the structured
+    reason instead of burning the remaining attempts.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None):
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class StandQuarantinedError(ExecutionError):
+    """A stand was quarantined after consecutive infrastructure failures.
+
+    The executor's per-stand circuit breaker raises this for jobs routed to
+    a stand that kept failing with infrastructure (non-verdict) errors;
+    the job is reported ERROR with this structured reason instead of being
+    executed against hardware that is evidently broken.
+    """
+
+
 class HarnessError(ExecutionError):
     """The DUT harness wiring is inconsistent (unknown pin, double drive...)."""
 
@@ -132,3 +189,39 @@ class MethodError(ReproError):
 
 class ReportError(ReproError):
     """A test report could not be produced or serialised."""
+
+
+#: Error types the retry machinery treats as permanent: the job would fail
+#: identically on every attempt, so it fails fast with its first error.
+#: Types outside the hierarchy can opt in (or out) with a boolean
+#: ``transient`` class attribute - :class:`repro.targets.TargetError` does -
+#: without this module having to import them.
+PERMANENT_ERRORS = (
+    ConfigurationError,
+    DefinitionError,
+    CompileError,
+    ScriptError,
+    MethodError,
+    ReportError,
+    JobTimeoutError,
+    StandQuarantinedError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the executor should retry a job that raised *exc*.
+
+    Classification order: an explicit :class:`TransientError` always
+    retries; an explicit boolean ``transient`` attribute on the exception
+    (instance or class) is honoured next; the known-permanent taxonomy
+    (:data:`PERMANENT_ERRORS`) fails fast; everything else - unclassified
+    ``RuntimeError`` and friends from plugin stands - defaults to
+    *transient*, because a wasted retry is cheaper than dropping a job
+    over what may have been a race.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    flagged = getattr(exc, "transient", None)
+    if isinstance(flagged, bool):
+        return flagged
+    return not isinstance(exc, PERMANENT_ERRORS)

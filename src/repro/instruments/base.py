@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from .. import chaos as _chaos
 from ..core.errors import CapabilityError, InstrumentError
 from ..core.signals import Signal
 from ..core.script import MethodCall
@@ -206,6 +207,15 @@ class Instrument(abc.ABC):
         variables:
             Stand variables for evaluating relative limits (``ubatt``...).
         """
+        if _chaos.ACTIVE is not None:
+            # Chaos path: the active schedule may fault this round-trip
+            # (raises InstrumentIOError), stretch it, or glitch its reading.
+            hang, glitch = _chaos.on_instrument_call()
+            _chaos.sleep_hang(hang)
+            if self.io_delay > 0.0:
+                time.sleep(self.io_delay)
+            outcome = self._perform(call, signal, pins, harness, variables)
+            return _chaos.glitched(outcome) if glitch else outcome
         if self.io_delay > 0.0:
             time.sleep(self.io_delay)
         return self._perform(call, signal, pins, harness, variables)
@@ -225,6 +235,14 @@ class Instrument(abc.ABC):
         while the (simulated) instrument round-trip is in flight, which is
         what lets one async worker drive many slow stands concurrently.
         """
+        if _chaos.ACTIVE is not None:
+            hang, glitch = _chaos.on_instrument_call()
+            if hang > 0.0:
+                await asyncio.sleep(hang)
+            if self.io_delay > 0.0:
+                await asyncio.sleep(self.io_delay)
+            outcome = self._perform(call, signal, pins, harness, variables)
+            return _chaos.glitched(outcome) if glitch else outcome
         if self.io_delay > 0.0:
             await asyncio.sleep(self.io_delay)
         return self._perform(call, signal, pins, harness, variables)

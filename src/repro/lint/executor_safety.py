@@ -7,8 +7,13 @@ is only correct when fingerprints are stable across rebuilds of the same
 stand or script.  The persistent result store adds a fourth: names that
 only differ in case merge silently under its case-insensitive queries.
 The bytecode VM adds a fifth: a (sheet x stand) pair the VM cannot
-compile silently runs on the classic interpreter forever.  These rules
-verify all five statically.
+compile silently runs on the classic interpreter forever.  The
+resilience machinery adds a sixth: the retry classifier
+(:func:`repro.core.errors.is_transient`) treats *unknown* exception
+types as transient, so an instrument ``_perform`` core that raises a
+bare ``Exception`` / ``RuntimeError`` for a permanent defect silently
+burns retry attempts and backoff time on every occurrence.  These rules
+verify all six statically.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from ..teststand.plan import compile_plan, script_fingerprint, stand_fingerprint
 from .context import LintContext
 from .findings import ERROR, WARNING, LintRule
 
-__all__ = ["RULES", "blocking_execute_calls"]
+__all__ = ["RULES", "blocking_execute_calls", "unclassified_raises"]
 
 
 # ---------------------------------------------------------------------------
@@ -351,6 +356,87 @@ def check_uncompilable_script(context: LintContext, rule: LintRule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# X-UNCLASSIFIED-RAISE
+# ---------------------------------------------------------------------------
+
+#: Exception names whose raise carries no retry classification: the
+#: executor's :func:`~repro.core.errors.is_transient` retries anything it
+#: does not recognise, so these retry even when the defect is permanent.
+_UNCLASSIFIED_NAMES = ("Exception", "RuntimeError")
+
+
+class _UnclassifiedRaiseVisitor(ast.NodeVisitor):
+    """Find ``raise Exception(...)`` / ``raise RuntimeError(...)`` statements."""
+
+    def __init__(self):
+        self.raises: list[tuple[int, str]] = []
+
+    def visit_Raise(self, node):
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name) and target.id in _UNCLASSIFIED_NAMES:
+            self.raises.append((node.lineno, target.id))
+        self.generic_visit(node)
+
+
+def unclassified_raises(source: str) -> tuple[tuple[int, str], ...]:
+    """``(lineno, exception name)`` for unclassified raises in *source*.
+
+    Exposed for test fixtures; the rule applies it to the ``_perform`` /
+    ``_aperform`` cores of every instrument class found on a registered
+    stand.
+    """
+    visitor = _UnclassifiedRaiseVisitor()
+    visitor.visit(ast.parse(textwrap.dedent(source)))
+    return tuple(visitor.raises)
+
+
+def check_unclassified_raise(context: LintContext, rule: LintRule):
+    """Instrument cores whose failures the retry classifier cannot read.
+
+    Walks the instruments of every registered stand and AST-scans the
+    ``_perform`` / ``_aperform`` methods each class defines itself.  A
+    ``raise Exception(...)`` or ``raise RuntimeError(...)`` there is
+    invisible to :func:`repro.core.errors.is_transient` - unknown types
+    default to *transient*, so a permanent instrument defect gets retried
+    with backoff on every job instead of failing fast.
+    """
+    seen: set[type] = set()
+    for stand in context.stands:
+        try:
+            instance = stand.builder()
+        except Exception:
+            continue  # registration already reports broken builders
+        for resource in instance.resources:
+            cls = type(resource.instrument)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            for method_name in ("_perform", "_aperform"):
+                method = vars(cls).get(method_name)
+                if method is None:
+                    continue
+                try:
+                    source = inspect.getsource(method)
+                except Exception:
+                    continue
+                for lineno, name in unclassified_raises(source):
+                    yield rule.finding(
+                        f"instrument:{cls.__name__}.{method_name} "
+                        f"line:{lineno}",
+                        f"instrument core raises bare {name}; the retry "
+                        f"classifier treats unknown exception types as "
+                        f"transient, so this failure is retried with "
+                        f"backoff even when it is permanent",
+                        hint="raise InstrumentIOError for transient I/O "
+                             "faults, or a permanent classified error "
+                             "(InstrumentError, ConfigurationError) for "
+                             "real defects",
+                    )
+
+
 RULES = (
     LintRule(
         "X-UNPICKLABLE-FACTORY", ERROR,
@@ -378,5 +464,11 @@ RULES = (
         "the bytecode VM cannot compile a (sheet x stand) pair; its runs "
         "silently degrade to the classic interpreter",
         check_uncompilable_script,
+    ),
+    LintRule(
+        "X-UNCLASSIFIED-RAISE", WARNING,
+        "an instrument core raises bare Exception/RuntimeError, which the "
+        "retry classifier must treat as transient",
+        check_unclassified_raise,
     ),
 )

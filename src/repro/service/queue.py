@@ -28,7 +28,8 @@ import threading
 import time
 from dataclasses import replace
 
-from ..core.errors import ReproError
+from .. import chaos as _chaos
+from ..core.errors import ReproError, TransientError
 from ..store import ResultStore
 from ..targets import CampaignSpec, run_campaign
 
@@ -99,8 +100,13 @@ class CampaignService:
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
+        #: Times the worker loop died on a transient infrastructure error
+        #: (e.g. an injected :func:`repro.chaos.maybe_service_crash`) and
+        #: was restarted by the supervisor.  Queued jobs survive restarts.
+        self.worker_restarts = 0
         self._worker = threading.Thread(
-            target=self._work, name="repro-campaign-service", daemon=True)
+            target=self._supervise, name="repro-campaign-service",
+            daemon=True)
         self._worker.start()
 
     # -- submission / inspection -------------------------------------------
@@ -169,8 +175,28 @@ class CampaignService:
 
     # -- the worker ---------------------------------------------------------
 
+    def _supervise(self) -> None:
+        """Keep the worker loop alive across transient infrastructure
+        deaths: a :class:`~repro.core.errors.TransientError` escaping
+        :meth:`_work` (the chaos harness crashes the worker *between*
+        jobs, never inside one) restarts the loop; anything else is a real
+        bug and propagates."""
+        while True:
+            try:
+                self._work()
+                return
+            except TransientError:
+                with self._lock:
+                    self.worker_restarts += 1
+
     def _work(self) -> None:
         while True:
+            # Chaos hook: an installed policy may crash the service worker
+            # here, before the next job is claimed, so no submission is
+            # ever lost - the supervisor restarts the loop and the job is
+            # still queued.
+            if _chaos.ACTIVE is not None:
+                _chaos.maybe_service_crash()
             job = self._queue.get()
             if job is None:
                 return

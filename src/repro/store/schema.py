@@ -33,6 +33,13 @@ and a query cookbook; the short version:
     verdict, simulated duration, wall time, setup action results.
 ``step_results``
     one row per executed script step with its action results.
+``checkpoints``
+    one row per completed job of an *in-flight* resumable campaign
+    (``CampaignSpec(store=..., resume=True)``), keyed by the campaign's
+    content fingerprint and the job id.  Each payload is a full
+    single-result report document, so a killed campaign restores its
+    finished jobs byte-identically and re-runs only the rest; the rows
+    are deleted once the campaign records its final report.
 
 Action results are stored as JSON documents (the exact dicts of
 :mod:`repro.teststand.serialize`) inside the case/step rows: the
@@ -48,7 +55,7 @@ __all__ = ["STORE_SCHEMA", "DDL"]
 #: Version of the on-disk store schema, recorded in ``meta``.  Bump on any
 #: table change; :class:`repro.store.ResultStore` refuses to open a store
 #: written by a different schema version instead of misreading it.
-STORE_SCHEMA = 2
+STORE_SCHEMA = 3
 
 #: The full DDL, executed with ``executescript`` on first open.  Every
 #: statement is idempotent (``IF NOT EXISTS``) so concurrent first opens
@@ -148,4 +155,15 @@ CREATE TABLE IF NOT EXISTS step_results (
     actions    TEXT NOT NULL,
     UNIQUE (case_id, ordinal)
 );
+
+CREATE TABLE IF NOT EXISTS checkpoints (
+    id           INTEGER PRIMARY KEY,
+    campaign_key TEXT NOT NULL,
+    job_key      TEXT NOT NULL,
+    payload      TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    UNIQUE (campaign_key, job_key)
+);
+CREATE INDEX IF NOT EXISTS idx_checkpoints_campaign
+    ON checkpoints(campaign_key);
 """

@@ -29,12 +29,18 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from .. import chaos as _chaos
 from ..analysis.campaign import BASELINE_GROUP, CampaignResult, FaultRunOutcome
 from ..analysis.faults import FaultModel
 from ..core.errors import ReproError
-from ..teststand.executor import ExecutionReport
+from ..teststand.executor import ExecutionReport, JobResult
 from ..teststand.report import format_table
-from ..teststand.serialize import REPORT_SCHEMA, restored_factory
+from ..teststand.serialize import (
+    REPORT_SCHEMA,
+    report_from_dict,
+    report_to_dict,
+    restored_factory,
+)
 from .schema import DDL, STORE_SCHEMA
 
 __all__ = [
@@ -342,6 +348,12 @@ class ResultStore:
         )
         conn.row_factory = sqlite3.Row
         conn.execute("PRAGMA foreign_keys = ON")
+        if not self._memory:
+            # WAL lets concurrent writers queue behind the busy timeout
+            # instead of failing immediately, and readers never block
+            # writers.  The mode is persistent, but setting it is cheap
+            # and idempotent, so every connection just asserts it.
+            conn.execute("PRAGMA journal_mode = WAL")
         return conn
 
     class _Session:
@@ -361,17 +373,60 @@ class ResultStore:
 
         def __exit__(self, exc_type, exc, tb) -> None:
             conn = self._conn
-            if exc_type is None:
-                conn.commit()
-            else:
-                conn.rollback()
-            if self._store._memory:
-                self._store._lock.release()
-            else:
-                conn.close()
+            try:
+                if exc_type is None:
+                    if _chaos.ACTIVE is not None:
+                        # Chaos commit-point hook: may raise a one-shot
+                        # "database is locked" for the bounded write
+                        # retry to absorb.
+                        _chaos.on_store_commit()
+                    conn.commit()
+                else:
+                    conn.rollback()
+            except BaseException:
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                raise
+            finally:
+                if self._store._memory:
+                    self._store._lock.release()
+                else:
+                    conn.close()
 
     def _connect(self) -> "_Session":
         return self._Session(self)
+
+    #: Attempts one write transaction gets against a locked database
+    #: before the store gives up.
+    WRITE_RETRIES = 5
+
+    def _with_write_retry(self, operation):
+        """Run a write transaction, retrying bounded on database-locked.
+
+        SQLite raises ``OperationalError: database is locked`` when another
+        writer holds the file past the busy timeout.  Transactions roll
+        back cleanly (see ``_Session``) and all inserts are idempotent
+        (``INSERT OR IGNORE`` interning, fresh rowids), so re-running the
+        whole transaction is safe.  Retries back off exponentially;
+        anything but a locked/busy error propagates immediately.
+        """
+        delay = 0.05
+        for attempt in range(1, self.WRITE_RETRIES + 1):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt >= self.WRITE_RETRIES:
+                    raise StoreError(
+                        f"store {self.path!r} stayed locked after "
+                        f"{self.WRITE_RETRIES} attempts: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(1.0, delay * 2.0)
 
     def _initialise(self, conn: sqlite3.Connection) -> None:
         conn.executescript(DDL)
@@ -483,6 +538,18 @@ class ResultStore:
             git_sha = current_git_sha()
         if created_at is None:
             created_at = time.time()
+        return self._with_write_retry(
+            lambda: self._record_report_txn(
+                document, report, spec, faults, plan_cache,
+                git_sha, created_at, __version__,
+            )
+        )
+
+    def _record_report_txn(
+        self, document, report, spec, faults, plan_cache,
+        git_sha, created_at, version,
+    ) -> int:
+        """One recording transaction (retried by :meth:`record_report`)."""
         with self._connect() as conn:
             campaign_id = None
             if spec is not None or faults is not None:
@@ -504,7 +571,7 @@ class ResultStore:
                 "INSERT INTO runs (created_at, git_sha, repro_version, "
                 "backend, workers, wall_time, plan_cache, campaign_id) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                (created_at, git_sha, __version__, document["backend"],
+                (created_at, git_sha, version, document["backend"],
                  document["workers"], document["wall_time"],
                  json.dumps(dict(plan_cache)) if plan_cache else None,
                  campaign_id),
@@ -570,6 +637,68 @@ class ResultStore:
         faults = [outcome.fault for outcome in result.outcomes]
         return self.record_report(result.execution, spec,
                                   faults=faults, **kwargs)
+
+    # -- checkpoints (campaign resume) --------------------------------------
+
+    def save_checkpoint(self, campaign_key: str, job_result: JobResult) -> bool:
+        """Persist one finished job of an in-flight resumable campaign.
+
+        The payload is a full single-result report document, so
+        :meth:`load_checkpoints` restores the :class:`JobResult` (and every
+        verdict detail in it) byte-identically.  Failed jobs are *not*
+        checkpointed - a resumed campaign gets to retry them - and the call
+        reports whether it stored anything.  Committed per job: a SIGKILL
+        between jobs loses at most the job in flight.
+        """
+        if job_result.result is None:
+            return False
+        payload = json.dumps(report_to_dict(ExecutionReport([job_result])))
+        job_key = job_result.job.job_id
+
+        def _write() -> None:
+            with self._connect() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO checkpoints "
+                    "(campaign_key, job_key, payload, created_at) "
+                    "VALUES (?, ?, ?, ?)",
+                    (campaign_key, job_key, payload, time.time()),
+                )
+
+        self._with_write_retry(_write)
+        return True
+
+    def load_checkpoints(self, campaign_key: str) -> dict[str, JobResult]:
+        """All checkpointed job results of a campaign, keyed by ``job_id``.
+
+        The restored results render byte-identically but carry placeholder
+        factories (:func:`~repro.teststand.serialize.restored_factory`);
+        :func:`~repro.teststand.executor.run_jobs` slots them into the
+        report without executing anything.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_key, payload FROM checkpoints "
+                "WHERE campaign_key = ? ORDER BY id",
+                (campaign_key,),
+            ).fetchall()
+        restored: dict[str, JobResult] = {}
+        for row in rows:
+            report = report_from_dict(json.loads(row["payload"]))
+            restored[row["job_key"]] = report.results[0]
+        return restored
+
+    def clear_checkpoints(self, campaign_key: str) -> int:
+        """Drop a campaign's checkpoints (after its final report recorded)."""
+
+        def _write() -> int:
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "DELETE FROM checkpoints WHERE campaign_key = ?",
+                    (campaign_key,),
+                )
+                return cursor.rowcount
+
+        return self._with_write_retry(_write)
 
     # -- reading ------------------------------------------------------------
 

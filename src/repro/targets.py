@@ -47,9 +47,13 @@ registration helpers are decorator-friendly::
 from __future__ import annotations
 
 import functools
+import hashlib
+import json
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
+
+from . import chaos as _chaos
 
 from .analysis.campaign import CampaignResult, FaultCampaign
 from .analysis.faults import (
@@ -99,7 +103,7 @@ from .paper.family import (
     wiper_suite,
 )
 from .sheets.workbook import load_suite
-from .teststand.executor import Executor, make_executor
+from .teststand.executor import Executor, ResiliencePolicy, make_executor
 from .teststand.interpreter import TestStandInterpreter
 from .teststand.stands import (
     TestStand,
@@ -152,7 +156,15 @@ __all__ = [
 
 
 class TargetError(ReproError):
-    """A registry lookup or spec expansion failed."""
+    """A registry lookup or spec expansion failed.
+
+    Permanent by definition (``transient = False``): an unknown DUT or a
+    capability gap looks exactly the same on every attempt, so the
+    executor's retry machinery (:func:`repro.core.errors.is_transient`)
+    fails such jobs fast instead of burning attempts.
+    """
+
+    transient = False
 
 
 class CapabilityGapError(TargetError):
@@ -1213,6 +1225,18 @@ class CampaignSpec:
     :attr:`~repro.analysis.campaign.CampaignResult.store_run_id`.
     Recording never changes the verdict table; the stored run re-renders
     it byte-identically (``repro-report --store PATH --run ID``).
+
+    ``resume`` (requires ``store``) makes the campaign *checkpointed*:
+    every finished job is persisted as it completes, jobs already
+    checkpointed by a previous (killed) run of the same campaign are
+    skipped, and the merged final report is byte-identical to an
+    uninterrupted run.  The checkpoints are dropped once the final report
+    records.  ``deadline`` is a per-job wall-clock budget in seconds
+    (blown jobs report a structured ``JobTimeoutError`` without retrying).
+    ``chaos_seed`` / ``chaos_profile`` install a deterministic
+    :class:`repro.chaos.ChaosPolicy` for the campaign - seeded fault
+    injection for resilience testing; a seed without a profile defaults
+    to the recoverable ``"flaky-instruments"`` personality.
     """
 
     dut: str | None = None
@@ -1231,6 +1255,10 @@ class CampaignSpec:
     use_vm: bool = True
     preflight: str = "coverage"
     store: str | None = None
+    resume: bool = False
+    deadline: float | None = None
+    chaos_seed: int | None = None
+    chaos_profile: str = ""
 
     def __post_init__(self) -> None:
         _check_preflight(self.preflight)
@@ -1259,6 +1287,15 @@ class CampaignSpec:
         if int(self.retries) < 0:
             raise ConfigurationError(
                 f"campaign retries must be non-negative, got {self.retries}"
+            )
+        if self.deadline is not None and not float(self.deadline) > 0.0:
+            raise ConfigurationError(
+                f"campaign deadline must be positive, got {self.deadline}"
+            )
+        if self.chaos_profile and self.chaos_profile not in _chaos.PROFILES:
+            raise ConfigurationError(
+                f"unknown chaos profile {self.chaos_profile!r} "
+                f"(known: {', '.join(sorted(_chaos.PROFILES))})"
             )
 
 
@@ -1296,6 +1333,23 @@ def select_faults(catalogue: FaultCatalogue,
         ) from exc
 
 
+def _resilience_for(spec: CampaignSpec) -> ResiliencePolicy:
+    """The executor resilience policy a campaign spec describes."""
+    chaos_policy = None
+    if spec.chaos_profile:
+        chaos_policy = _chaos.ChaosPolicy.from_profile(
+            spec.chaos_profile, seed=spec.chaos_seed or 0)
+    elif spec.chaos_seed is not None:
+        chaos_policy = _chaos.ChaosPolicy.from_profile(
+            "flaky-instruments", seed=spec.chaos_seed)
+    return ResiliencePolicy(
+        max_attempts=1 + max(0, spec.retries),
+        seed=spec.chaos_seed or 0,
+        deadline=spec.deadline,
+        chaos=chaos_policy,
+    )
+
+
 def _build_composed_campaign(spec: CampaignSpec, *,
                              executor: Executor | None = None
                              ) -> tuple[FaultCampaign, list[FaultModel]]:
@@ -1329,6 +1383,7 @@ def _build_composed_campaign(spec: CampaignSpec, *,
         policy=spec.policy,
         executor=executor,
         max_attempts=1 + max(0, spec.retries),
+        resilience=_resilience_for(spec),
         use_plans=spec.use_plans,
         reuse_stands=spec.reuse_stands,
         use_vm=spec.use_vm,
@@ -1392,11 +1447,38 @@ def build_campaign(spec: CampaignSpec, *,
         policy=spec.policy,
         executor=executor,
         max_attempts=1 + max(0, spec.retries),
+        resilience=_resilience_for(spec),
         use_plans=spec.use_plans,
         reuse_stands=spec.reuse_stands,
         use_vm=spec.use_vm,
     )
     return campaign, faults
+
+
+def _campaign_resume_key(spec: CampaignSpec, campaign: FaultCampaign,
+                         faults: Sequence[FaultModel]) -> str:
+    """Content fingerprint identifying a resumable campaign's checkpoints.
+
+    Built from everything that determines job identities and verdicts -
+    compiled script content, fault selection, stand, allocation policy,
+    fast-path switches - and nothing that does not (backend, worker
+    count): a campaign killed on the process backend may resume on the
+    serial one and still merge byte-identically.
+    """
+    from .teststand.serialize import script_key
+
+    document = {
+        "scripts": [script_key(script) for script in campaign.scripts],
+        "faults": [fault.name for fault in faults],
+        "dut": spec.dut,
+        "composition": spec.composition,
+        "stand": spec.stand,
+        "policy": spec.policy,
+        "use_plans": bool(spec.use_plans),
+        "use_vm": bool(spec.use_vm),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def run_campaign(spec: CampaignSpec, *,
@@ -1407,15 +1489,39 @@ def run_campaign(spec: CampaignSpec, *,
     ``concurrency``.  With ``spec.store`` set, the finished campaign is
     recorded into that result store and the returned result carries the
     assigned :attr:`~repro.analysis.campaign.CampaignResult.store_run_id`.
+
+    With ``spec.resume`` additionally set, the run is checkpointed: each
+    finished job persists into the store as it completes, jobs already
+    checkpointed under the same campaign fingerprint are restored instead
+    of re-executed, and the checkpoints are dropped once the merged final
+    report records.  Killing a resumable campaign at any point therefore
+    loses at most the jobs in flight; re-running the same spec produces a
+    final report byte-identical to an uninterrupted run.
     """
     campaign, faults = build_campaign(spec, executor=executor)
-    result = campaign.run(faults)
+    if spec.resume and not spec.store:
+        raise ConfigurationError(
+            "campaign resume requires a result store "
+            "(CampaignSpec(store=..., resume=True))"
+        )
+    store = None
+    completed = None
+    on_result = None
+    resume_key = ""
     if spec.store:
         # Imported lazily: the registry must not pay the store's sqlite
         # setup cost (nor create files) unless a spec actually records.
         from .store import ResultStore
-        result.store_run_id = ResultStore(spec.store).record_campaign(
-            result, spec)
+        store = ResultStore(spec.store)
+        if spec.resume:
+            resume_key = _campaign_resume_key(spec, campaign, faults)
+            completed = store.load_checkpoints(resume_key)
+            on_result = functools.partial(store.save_checkpoint, resume_key)
+    result = campaign.run(faults, completed=completed, on_result=on_result)
+    if store is not None:
+        result.store_run_id = store.record_campaign(result, spec)
+        if spec.resume:
+            store.clear_checkpoints(resume_key)
     return result
 
 

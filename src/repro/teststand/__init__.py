@@ -35,6 +35,7 @@ from .executor import (
     Job,
     JobResult,
     ProcessExecutor,
+    ResiliencePolicy,
     SerialExecutor,
     ThreadExecutor,
     aexecute_job,
@@ -110,6 +111,7 @@ __all__ = [
     "DEFAULT_ASYNC_CONCURRENCY",
     "Job",
     "JobResult",
+    "ResiliencePolicy",
     "ExecutionReport",
     "Executor",
     "SerialExecutor",

@@ -23,6 +23,15 @@ into an execution engine:
     :class:`ExecutionReport` — so the aggregated verdict table is
     byte-identical no matter how many workers ran the campaign or in which
     order they finished.
+:class:`ResiliencePolicy`
+    how the batch survives infrastructure trouble: classified retries
+    (only :func:`~repro.core.errors.is_transient` errors retry) with
+    deterministic seeded exponential backoff, per-job wall-clock deadlines,
+    a per-stand quarantine circuit breaker, and an optional
+    :class:`~repro.chaos.ChaosPolicy` injecting faults to prove all of the
+    above works.  ``run_jobs(..., completed=...)`` additionally skips jobs
+    whose results a previous (checkpointed) run already produced — the
+    executor half of campaign resume.
 
 The ``process`` backend requires every factory in the jobs to be picklable
 (module-level callables); the ``thread``, ``serial`` and ``async`` backends
@@ -38,16 +47,29 @@ serial backend scales linearly (benchmark A4).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import math
 import pickle
+import random
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..core.errors import ConfigurationError, ReproError
+from .. import chaos as chaos_mod
+from ..core.errors import (
+    ConfigurationError,
+    JobTimeoutError,
+    ReproError,
+    is_transient,
+)
 from ..core.script import TestScript
 from ..core.signals import SignalSet
 from .interpreter import TestStandInterpreter
@@ -62,6 +84,7 @@ __all__ = [
     "DEFAULT_ASYNC_CONCURRENCY",
     "Job",
     "JobResult",
+    "ResiliencePolicy",
     "ExecutionReport",
     "Executor",
     "SerialExecutor",
@@ -150,6 +173,72 @@ class JobResult:
     @property
     def verdict(self) -> Verdict:
         return self.result.verdict if self.result is not None else Verdict.ERROR
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How a job batch survives infrastructure trouble.
+
+    One frozen, picklable value threaded through every backend (it rides
+    to process-pool workers alongside the job chunks):
+
+    * **Classified retries** — a raised exception is retried only when
+      :func:`~repro.core.errors.is_transient` says a fresh attempt has a
+      chance (permanent errors like ``ConfigurationError`` or
+      ``CapabilityGapError`` fail fast on attempt one).
+    * **Deterministic backoff** — attempt *n* sleeps
+      ``min(backoff_max, backoff_base * backoff_factor**(n-1))`` scaled by
+      ``1 ± jitter`` drawn from ``random.Random(f"{seed}:{job_id}:...")``,
+      so the exact same schedule replays on every backend.
+    * **Deadline** — a per-job wall-clock budget shared across the job's
+      attempts; blowing it raises :class:`~repro.core.errors.JobTimeoutError`
+      (permanent: a job that blew its budget once would blow it again).
+    * **Quarantine** — after ``quarantine_after`` *consecutive*
+      infrastructure failures on one stand, further jobs for that stand are
+      reported ERROR with a structured ``StandQuarantinedError`` reason
+      instead of being executed (0 disables the breaker).
+    * **Chaos** — an optional :class:`~repro.chaos.ChaosPolicy` injecting
+      seeded faults; ``None`` (the default) keeps every hook a single
+      pointer check.
+    """
+
+    max_attempts: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    deadline: float | None = None
+    quarantine_after: int = 0
+    chaos: chaos_mod.ChaosPolicy | None = None
+
+    def __post_init__(self):
+        if int(self.max_attempts) < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.deadline is not None and not self.deadline > 0.0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if int(self.quarantine_after) < 0:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 0 (0 disables), "
+                f"got {self.quarantine_after}"
+            )
+
+    def without_worker_kill(self) -> "ResiliencePolicy":
+        """Copy with chaos worker kills disabled (for redelivered chunks)."""
+        if self.chaos is None:
+            return self
+        return _dc_replace(self, chaos=self.chaos.without_worker_kill())
+
+
+def _coerce_policy(policy: "ResiliencePolicy | int") -> ResiliencePolicy:
+    """Accept the legacy bare ``max_attempts`` int in the policy slot."""
+    if isinstance(policy, ResiliencePolicy):
+        return policy
+    return ResiliencePolicy(max_attempts=max(1, int(policy)))
 
 
 # ---------------------------------------------------------------------------
@@ -247,49 +336,203 @@ async def aexecute_job(job: Job) -> TestResult:
         _return_stand(job, stand, pooled)
 
 
-def _execute_with_retries(job: Job, max_attempts: int) -> JobResult:
-    """Run *job*, retrying transient errors (raised exceptions) a few times.
+# ---------------------------------------------------------------------------
+# Resilience machinery: quarantine, deadlines, backoff, classified retries
+# ---------------------------------------------------------------------------
+
+#: Per-process stand quarantine book: {stand key -> consecutive infra
+#: failures}.  Cleared at the start of every ``run_jobs`` batch; process
+#: workers keep their own book (a worker that sees a stand fail repeatedly
+#: stops feeding it jobs, which is exactly the circuit-breaker intent).
+_QUARANTINE_LOCK = threading.Lock()
+_QUARANTINE: dict[str, int] = {}
+
+
+def _stand_key(job: Job) -> str:
+    """Identity of the (virtual) stand a job runs on, for the quarantine book."""
+    if job.stand_label:
+        return job.stand_label
+    factory = job.stand_factory
+    return getattr(factory, "__qualname__", "") or repr(factory)
+
+
+def _quarantine_reason(job: Job, policy: ResiliencePolicy) -> str:
+    """Non-empty structured error when the job's stand is quarantined."""
+    if policy.quarantine_after <= 0:
+        return ""
+    key = _stand_key(job)
+    with _QUARANTINE_LOCK:
+        failures = _QUARANTINE.get(key, 0)
+    if failures >= policy.quarantine_after:
+        return (
+            f"StandQuarantinedError: stand {key!r} quarantined after "
+            f"{failures} consecutive infrastructure failures"
+        )
+    return ""
+
+
+def _note_stand_outcome(job: Job, policy: ResiliencePolicy, *, failed: bool) -> None:
+    """Count a terminal infra failure against the stand; success resets it."""
+    if policy.quarantine_after <= 0:
+        return
+    key = _stand_key(job)
+    with _QUARANTINE_LOCK:
+        _QUARANTINE[key] = _QUARANTINE.get(key, 0) + 1 if failed else 0
+
+
+def _clear_quarantine() -> None:
+    with _QUARANTINE_LOCK:
+        _QUARANTINE.clear()
+
+
+def _backoff_seconds(policy: ResiliencePolicy, job_id: str, attempt: int) -> float:
+    """Deterministic jittered exponential backoff before attempt+1."""
+    delay = min(
+        policy.backoff_max,
+        policy.backoff_base * policy.backoff_factor ** (attempt - 1),
+    )
+    if policy.jitter > 0.0:
+        rng = random.Random(f"{policy.seed}:{job_id}:backoff:{attempt}")
+        delay *= 1.0 + policy.jitter * (2.0 * rng.random() - 1.0)
+    return max(0.0, delay)
+
+
+def _deadline_error(deadline: float) -> JobTimeoutError:
+    return JobTimeoutError(
+        f"job exceeded its {deadline:g} s wall-clock deadline",
+        deadline=deadline,
+    )
+
+
+def _run_with_deadline(job: Job, remaining: float, deadline: float) -> TestResult:
+    """Run :func:`execute_job` with a wall-clock budget.
+
+    The job runs on a daemon helper thread (with the caller's context, so
+    an active chaos schedule follows it); when the budget lapses the thread
+    is *abandoned* — Python cannot safely kill it — and
+    :class:`JobTimeoutError` is raised.  The helper has its own empty stand
+    pool, so an abandoned run can never corrupt a stand a future job would
+    lease.
+    """
+    outcome: list[tuple[str, object]] = []
+    ctx = contextvars.copy_context()
+
+    def _target() -> None:
+        try:
+            outcome.append(("ok", execute_job(job)))
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            outcome.append(("err", exc))
+
+    worker = threading.Thread(
+        target=ctx.run, args=(_target,),
+        name=f"deadline-{job.index}", daemon=True,
+    )
+    worker.start()
+    worker.join(remaining)
+    if not outcome:
+        raise _deadline_error(deadline)
+    kind, value = outcome[0]
+    if kind == "err":
+        raise value  # type: ignore[misc]
+    return value  # type: ignore[return-value]
+
+
+def _execute_with_retries(job: Job, policy: "ResiliencePolicy | int" = 2) -> JobResult:
+    """Run *job* under *policy*: classified retries, backoff, deadline, chaos.
 
     Verdicts — including FAIL and ERROR action results — are never retried;
     they are deterministic observations about the DUT.  Only a *raised*
-    exception (an allocation race on a shared stand, a worker hiccup) counts
-    as transient and is retried up to *max_attempts* total attempts.
+    exception counts, and only when :func:`is_transient` classifies it as
+    worth another attempt; permanent errors (bad configuration, capability
+    gaps, blown deadlines) fail fast and report their first error.
     """
+    policy = _coerce_policy(policy)
     start = time.perf_counter()
-    attempts = max(1, int(max_attempts))
-    last_error = ""
+    reason = _quarantine_reason(job, policy)
+    if reason:
+        return JobResult(job, None, attempts=0, error=reason,
+                         wall_time=time.perf_counter() - start)
+    attempts = max(1, int(policy.max_attempts))
     for attempt in range(1, attempts + 1):
+        token = None
+        if policy.chaos is not None:
+            token = chaos_mod.begin_job(policy.chaos, job.job_id, attempt)
         try:
-            result = execute_job(job)
+            if policy.deadline is not None:
+                remaining = policy.deadline - (time.perf_counter() - start)
+                if remaining <= 0.0:
+                    raise _deadline_error(policy.deadline)
+                result = _run_with_deadline(job, remaining, policy.deadline)
+            else:
+                result = execute_job(job)
         except Exception as exc:  # noqa: BLE001 - reported in the JobResult
-            last_error = f"{type(exc).__name__}: {exc}"
-            continue
+            if is_transient(exc) and attempt < attempts:
+                time.sleep(_backoff_seconds(policy, job.job_id, attempt))
+                continue
+            _note_stand_outcome(job, policy, failed=True)
+            return JobResult(job, None, attempts=attempt,
+                             error=f"{type(exc).__name__}: {exc}",
+                             wall_time=time.perf_counter() - start)
+        finally:
+            if token is not None:
+                chaos_mod.end_job(token)
+        _note_stand_outcome(job, policy, failed=False)
         return JobResult(job, result, attempts=attempt,
                          wall_time=time.perf_counter() - start)
-    return JobResult(job, None, attempts=attempts, error=last_error,
-                     wall_time=time.perf_counter() - start)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
-async def _aexecute_with_retries(job: Job, max_attempts: int) -> JobResult:
+async def _aexecute_with_retries(
+    job: Job, policy: "ResiliencePolicy | int" = 2
+) -> JobResult:
     """Awaitable twin of :func:`_execute_with_retries` (same retry policy).
 
     ``asyncio.CancelledError`` derives from ``BaseException`` and therefore
     propagates: a cancelled job is abandoned, not retried and not recorded
-    as a transient error.
+    as a transient error.  Deadlines use ``asyncio.wait_for``, which (unlike
+    the sync path's abandoned helper thread) actually cancels the job.
     """
+    policy = _coerce_policy(policy)
     start = time.perf_counter()
-    attempts = max(1, int(max_attempts))
-    last_error = ""
+    reason = _quarantine_reason(job, policy)
+    if reason:
+        return JobResult(job, None, attempts=0, error=reason,
+                         wall_time=time.perf_counter() - start)
+    attempts = max(1, int(policy.max_attempts))
     for attempt in range(1, attempts + 1):
+        token = None
+        if policy.chaos is not None:
+            token = chaos_mod.begin_job(policy.chaos, job.job_id, attempt)
         try:
-            result = await aexecute_job(job)
+            if policy.deadline is not None:
+                remaining = policy.deadline - (time.perf_counter() - start)
+                if remaining <= 0.0:
+                    raise _deadline_error(policy.deadline)
+                try:
+                    result = await asyncio.wait_for(
+                        aexecute_job(job), timeout=remaining
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    # asyncio.TimeoutError only merged into the builtin
+                    # on Python 3.11; catch both for 3.10.
+                    raise _deadline_error(policy.deadline) from None
+            else:
+                result = await aexecute_job(job)
         except Exception as exc:  # noqa: BLE001 - reported in the JobResult
-            last_error = f"{type(exc).__name__}: {exc}"
-            continue
+            if is_transient(exc) and attempt < attempts:
+                await asyncio.sleep(_backoff_seconds(policy, job.job_id, attempt))
+                continue
+            _note_stand_outcome(job, policy, failed=True)
+            return JobResult(job, None, attempts=attempt,
+                             error=f"{type(exc).__name__}: {exc}",
+                             wall_time=time.perf_counter() - start)
+        finally:
+            if token is not None:
+                chaos_mod.end_job(token)
+        _note_stand_outcome(job, policy, failed=False)
         return JobResult(job, result, attempts=attempt,
                          wall_time=time.perf_counter() - start)
-    return JobResult(job, None, attempts=attempts, error=last_error,
-                     wall_time=time.perf_counter() - start)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +605,7 @@ def _run_job_chunk(
     chunk: Sequence[tuple[int, Job]],
     extra: tuple,
     profile: bool = False,
+    redelivered: bool = False,
 ) -> tuple[list[tuple[int, JobResult]], dict | None, dict | None]:
     """Worker-side chunk runner: execute every job of *chunk* in order.
 
@@ -370,7 +614,17 @@ def _run_job_chunk(
     with the results - workers are reused across chunks, so absolute
     counters would double-count - for the parent to merge.  Without it
     both extra slots are ``None`` and nothing is measured.
+
+    ``redelivered`` marks a chunk resubmitted after the pool died mid-batch;
+    any chaos policy riding in *extra* has its worker kills stripped, so a
+    deterministic kill schedule cannot starve the batch by killing the
+    respawned worker at the same call forever.
     """
+    if redelivered:
+        extra = tuple(
+            arg.without_worker_kill() if isinstance(arg, ResiliencePolicy) else arg
+            for arg in extra
+        )
     if not profile:
         return [(position, fn(job, *extra)) for position, job in chunk], None, None
     PROFILER.enable()
@@ -425,29 +679,58 @@ class ProcessExecutor(Executor):
         indexed = list(enumerate(jobs))
         return [indexed[start:start + size] for start in range(0, len(indexed), size)]
 
+    #: Pool deaths tolerated per batch before giving up: a worker killed
+    #: mid-chunk (chaos, OOM, segfault) gets its unfinished chunks
+    #: redelivered to a fresh pool this many times.
+    MAX_RESPAWNS = 3
+
     def map_jobs(self, fn, jobs, *extra):
         profile = PROFILER.enabled
-        try:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [
-                    pool.submit(_run_job_chunk, fn, chunk, extra, profile)
-                    for chunk in self._chunked(tuple(jobs))
+        remaining = list(enumerate(self._chunked(tuple(jobs))))
+        redelivery = False
+        respawns = self.MAX_RESPAWNS
+        while remaining:
+            finished: set[int] = set()
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    futures = {
+                        pool.submit(_run_job_chunk, fn, chunk, extra,
+                                    profile, redelivery): chunk_id
+                        for chunk_id, chunk in remaining
+                    }
+                    for future in as_completed(futures):
+                        results, phases, stats_delta = future.result()
+                        # Fold the worker-side phase times and plan-cache
+                        # counters in so --profile sees through the pool.
+                        if phases:
+                            PROFILER.merge(phases)
+                        if stats_delta:
+                            GLOBAL_PLAN_CACHE.merge_stats(stats_delta)
+                        finished.add(futures[future])
+                        yield from results
+                remaining = []
+            except BrokenExecutor as exc:
+                # A worker process died mid-batch.  Respawn the pool and
+                # redeliver only the chunks that never completed; results
+                # already yielded stay yielded, so the aggregate is intact.
+                respawns -= 1
+                if respawns < 0:
+                    raise ReproError(
+                        "the process pool kept dying; gave up after "
+                        f"{self.MAX_RESPAWNS} respawns ({exc})"
+                    ) from exc
+                remaining = [
+                    (chunk_id, chunk) for chunk_id, chunk in remaining
+                    if chunk_id not in finished
                 ]
-                for future in as_completed(futures):
-                    results, phases, stats_delta = future.result()
-                    # Fold the worker-side phase times and plan-cache
-                    # counters in so --profile sees through the pool.
-                    if phases:
-                        PROFILER.merge(phases)
-                    if stats_delta:
-                        GLOBAL_PLAN_CACHE.merge_stats(stats_delta)
-                    yield from results
-        except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
-            raise ReproError(
-                "the process backend requires picklable jobs "
-                "(module-level factories); use the thread backend for "
-                f"closures ({exc})"
-            ) from exc
+                redelivery = True
+            except (pickle.PicklingError, TypeError, AttributeError,
+                    ImportError) as exc:
+                raise ReproError(
+                    "the process backend requires picklable jobs "
+                    "(module-level factories); use the thread backend for "
+                    f"closures ({exc})"
+                ) from exc
 
 
 class AsyncExecutor(Executor):
@@ -733,27 +1016,61 @@ def run_jobs(
     *,
     max_attempts: int = 2,
     on_result: Callable[[JobResult], None] | None = None,
+    resilience: ResiliencePolicy | None = None,
+    completed: Mapping[str, JobResult] | None = None,
 ) -> ExecutionReport:
     """Execute *jobs* on *executor* and aggregate deterministically.
 
-    Results stream into *on_result* in completion order (for live progress)
-    but are slotted into the report by submission position, so the final
-    aggregate — and everything derived from it, like the verdict table —
-    does not depend on scheduling.  (The async backend drains its whole
-    batch before streaming, so there *on_result* fires only after the last
-    job finished — still in completion order.)
+    Results stream into *on_result* in completion order (for live progress
+    or checkpointing) but are slotted into the report by submission
+    position, so the final aggregate — and everything derived from it, like
+    the verdict table — does not depend on scheduling.  (The async backend
+    drains its whole batch before streaming, so there *on_result* fires
+    only after the last job finished — still in completion order.)
+
+    *resilience* carries the full :class:`ResiliencePolicy` (retries,
+    backoff, deadline, quarantine, chaos); when omitted, a default policy
+    with the given *max_attempts* is used.  *completed* maps ``job_id`` to
+    a previously produced :class:`JobResult` (a resumed campaign's
+    checkpoints): matching jobs are not dispatched — their restored results
+    slot straight into the report, and *on_result* is **not** called for
+    them (they are already persisted).
+
+    When the policy carries a chaos policy it is installed for the
+    duration of the batch (and inside every pool worker) and uninstalled
+    afterwards, so store writes performed from *on_result* see injected
+    commit faults too.
     """
     job_list = tuple(jobs)
     executor = executor or SerialExecutor()
+    policy = resilience if resilience is not None else ResiliencePolicy(
+        max_attempts=max(1, int(max_attempts))
+    )
     start = time.perf_counter()
     slots: list[JobResult | None] = [None] * len(job_list)
+    pending: list[tuple[int, Job]] = []
+    for position, job in enumerate(job_list):
+        restored = completed.get(job.job_id) if completed else None
+        if restored is not None:
+            slots[position] = restored
+        else:
+            pending.append((position, job))
+    if policy.quarantine_after > 0:
+        _clear_quarantine()
     job_fn = _aexecute_with_retries if executor.is_async else _execute_with_retries
-    for position, job_result in executor.map_jobs(
-        job_fn, job_list, max_attempts
-    ):
-        slots[position] = job_result
-        if on_result is not None:
-            on_result(job_result)
+    installed = policy.chaos is not None
+    if installed:
+        chaos_mod.install(policy.chaos)
+    try:
+        for relative, job_result in executor.map_jobs(
+            job_fn, [job for _, job in pending], policy
+        ):
+            slots[pending[relative][0]] = job_result
+            if on_result is not None:
+                on_result(job_result)
+    finally:
+        if installed:
+            chaos_mod.uninstall()
     missing = [job_list[i].job_id for i, slot in enumerate(slots) if slot is None]
     if missing:
         raise ReproError(f"executor returned no result for job(s) {missing}")

@@ -26,7 +26,12 @@ from __future__ import annotations
 import time as _time
 from typing import Mapping
 
-from ..core.errors import AllocationError, ExecutionError, InstrumentError
+from ..core.errors import (
+    AllocationError,
+    ExecutionError,
+    InstrumentError,
+    TransientError,
+)
 from ..core.script import ScriptStep, SignalAction, TestScript
 from ..core.signals import Signal, SignalSet
 from ..dut.harness import TestHarness
@@ -403,6 +408,11 @@ class TestStandInterpreter:
             outcome = resource.instrument.execute(
                 action.call, signal, allocation.pins, self.harness, dict(variables)
             )
+        # Transient infrastructure failures (flaky instrument I/O, chaos
+        # injections) must reach the executor's retry layer, not become an
+        # ERROR verdict: a retried job's verdicts then match a clean run.
+        except TransientError:
+            raise
         except InstrumentError as exc:
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
         except Exception as exc:  # harness / model errors surface as execution errors
@@ -425,6 +435,8 @@ class TestStandInterpreter:
             outcome = await resource.instrument.aexecute(
                 action.call, signal, allocation.pins, self.harness, dict(variables)
             )
+        except TransientError:  # propagate to the retry layer (see _perform_action)
+            raise
         except InstrumentError as exc:
             return ActionResult(action, Verdict.ERROR, allocation=allocation, error=str(exc))
         # asyncio.CancelledError derives from BaseException, so task

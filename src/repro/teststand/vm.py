@@ -71,7 +71,8 @@ import time as _time
 from collections import OrderedDict
 from typing import Mapping, Sequence
 
-from ..core.errors import AllocationError
+from .. import chaos as _chaos
+from ..core.errors import AllocationError, TransientError
 from ..core.script import ScriptStep, SignalAction, TestScript
 from ..core.signals import Signal, SignalSet
 from ..methods import MethodRegistry, evaluate_call_parameter, limits_for_call
@@ -789,6 +790,10 @@ class VmCursor:
         register = allocator.register_planned
         stop = self.stop_on_error
         run_vars = dict(variables)
+        # The VM binds instrument._perform directly, bypassing the
+        # execute/aexecute wrappers - so the chaos hooks live here too.
+        # One check per run keeps the clean path at a single bool test.
+        chaos_on = _chaos.ACTIVE is not None
         error = Verdict.ERROR
         passed = Verdict.PASS
         failed = Verdict.FAIL
@@ -813,6 +818,12 @@ class VmCursor:
                     pre = prepared[pi]
                     pi += 1
                     register(signal_key, resource_key, routes, persistent)
+                    if chaos_on:
+                        hang, glitch = _chaos.on_instrument_call()
+                        if hang > 0.0:
+                            _time.sleep(hang)
+                    else:
+                        glitch = False
                     try:
                         if pre is not None:
                             outcome = perform(call, signal, pins, harness,
@@ -820,6 +831,8 @@ class VmCursor:
                         else:
                             outcome = perform(call, signal, pins, harness,
                                               run_vars)
+                    except TransientError:
+                        raise  # to the executor's retry layer, not a verdict
                     except Exception as exc:
                         setup_results.append(ActionResult(
                             action, error, allocation=allocation,
@@ -828,6 +841,8 @@ class VmCursor:
                             aborted = True
                             break
                         continue
+                    if glitch:
+                        outcome = _chaos.glitched(outcome)
                     setup_results.append(ActionResult(
                         action, passed if outcome.passed else failed,
                         outcome=outcome, allocation=allocation))
@@ -865,6 +880,12 @@ class VmCursor:
                         pi += 1
                         register(signal_key, resource_key, routes,
                                  persistent)
+                        if chaos_on:
+                            hang, glitch = _chaos.on_instrument_call()
+                            if hang > 0.0:
+                                _time.sleep(hang)
+                        else:
+                            glitch = False
                         try:
                             if pre is not None:
                                 outcome = perform(call, signal, pins,
@@ -873,11 +894,15 @@ class VmCursor:
                             else:
                                 outcome = perform(call, signal, pins,
                                                   harness, run_vars)
+                        except TransientError:
+                            raise  # to the executor's retry layer
                         except Exception as exc:
                             step_results.append(ActionResult(
                                 action, error, allocation=allocation,
                                 error=str(exc)))
                             continue
+                        if glitch:
+                            outcome = _chaos.glitched(outcome)
                         step_results.append(ActionResult(
                             action, passed if outcome.passed else failed,
                             outcome=outcome, allocation=allocation))
@@ -922,6 +947,10 @@ class VmCursor:
         register = allocator.register_planned
         stop = self.stop_on_error
         run_vars = dict(variables)
+        # The VM binds instrument._perform directly, bypassing the
+        # execute/aexecute wrappers - so the chaos hooks live here too.
+        # One check per run keeps the clean path at a single bool test.
+        chaos_on = _chaos.ACTIVE is not None
         error = Verdict.ERROR
         passed = Verdict.PASS
         failed = Verdict.FAIL
@@ -946,6 +975,12 @@ class VmCursor:
                     pre = prepared[pi]
                     pi += 1
                     register(signal_key, resource_key, routes, persistent)
+                    if chaos_on:
+                        hang, glitch = _chaos.on_instrument_call()
+                        if hang > 0.0:
+                            await asyncio.sleep(hang)
+                    else:
+                        glitch = False
                     try:
                         if pre is not None:
                             outcome = perform(call, signal, pins, harness,
@@ -953,6 +988,8 @@ class VmCursor:
                         else:
                             outcome = perform(call, signal, pins, harness,
                                               run_vars)
+                    except TransientError:
+                        raise  # to the executor's retry layer, not a verdict
                     except Exception as exc:
                         setup_results.append(ActionResult(
                             action, error, allocation=allocation,
@@ -961,6 +998,8 @@ class VmCursor:
                             aborted = True
                             break
                         continue
+                    if glitch:
+                        outcome = _chaos.glitched(outcome)
                     setup_results.append(ActionResult(
                         action, passed if outcome.passed else failed,
                         outcome=outcome, allocation=allocation))
@@ -998,6 +1037,12 @@ class VmCursor:
                         pi += 1
                         register(signal_key, resource_key, routes,
                                  persistent)
+                        if chaos_on:
+                            hang, glitch = _chaos.on_instrument_call()
+                            if hang > 0.0:
+                                await asyncio.sleep(hang)
+                        else:
+                            glitch = False
                         try:
                             if pre is not None:
                                 outcome = perform(call, signal, pins,
@@ -1006,11 +1051,15 @@ class VmCursor:
                             else:
                                 outcome = perform(call, signal, pins,
                                                   harness, run_vars)
+                        except TransientError:
+                            raise  # to the executor's retry layer
                         except Exception as exc:
                             step_results.append(ActionResult(
                                 action, error, allocation=allocation,
                                 error=str(exc)))
                             continue
+                        if glitch:
+                            outcome = _chaos.glitched(outcome)
                         step_results.append(ActionResult(
                             action, passed if outcome.passed else failed,
                             outcome=outcome, allocation=allocation))

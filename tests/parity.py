@@ -13,6 +13,8 @@ keep only their feature-specific assertions.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.targets import (
     CampaignSpec,
     campaignable_dut_names,
@@ -24,6 +26,7 @@ from repro.targets import (
 
 __all__ = [
     "BACKENDS",
+    "chaos_spec_for",
     "parity_faults",
     "spec_for",
     "target_names",
@@ -92,6 +95,28 @@ def spec_for(
         reuse_stands=use_plans,
         use_vm=use_vm,
         **which,
+    )
+
+
+def chaos_spec_for(
+    target: str,
+    backend: str = "serial",
+    jobs: int = 1,
+    concurrency: int = 0,
+    *,
+    seed: int = 42,
+    profile: str = "flaky-instruments",
+) -> CampaignSpec:
+    """The chaos parity cell: *spec_for* plus a recoverable fault schedule.
+
+    The ``flaky-instruments`` profile injects only transient, first-attempt
+    instrument faults, so a retrying executor must produce verdict tables
+    byte-identical to the undisturbed reference - on every backend, because
+    the schedule is content-keyed, not scheduling-keyed.
+    """
+    return replace(
+        spec_for(target, backend, jobs, concurrency),
+        chaos_seed=seed, chaos_profile=profile, retries=2,
     )
 
 

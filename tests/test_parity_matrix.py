@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import pytest
 
-from parity import BACKENDS, spec_for, target_names, verdict_tables
+from parity import (
+    BACKENDS,
+    chaos_spec_for,
+    spec_for,
+    target_names,
+    verdict_tables,
+)
 
 TARGETS = target_names()
 
@@ -64,3 +70,28 @@ class TestParityMatrix:
         spec = spec_for(target, backend, jobs, concurrency,
                         use_plans=use_plans, use_vm=use_vm)
         assert verdict_tables(spec) == reference(target)
+
+
+class TestChaosParity:
+    """The chaos parity gate: a fixed seed injecting only *recoverable*
+    faults (transient first-attempt instrument I/O errors) must leave the
+    verdict tables byte-identical to the clean reference on every backend.
+    The schedule is a pure function of ``(seed, job_id, attempt)``, so the
+    same faults fire whether jobs run serially, on threads, in a process
+    pool or interleaved on the async multiplexer."""
+
+    TARGET = "interior_light_ecu"
+
+    @pytest.mark.parametrize("backend,jobs,concurrency", BACKENDS,
+                             ids=[b[0] for b in BACKENDS])
+    def test_chaotic_verdicts_byte_identical(self, backend, jobs,
+                                             concurrency):
+        from repro.targets import run_campaign
+
+        spec = chaos_spec_for(self.TARGET, backend, jobs, concurrency)
+        result = run_campaign(spec)
+        assert (result.table(), result.execution.verdict_table()) \
+            == reference(self.TARGET)
+        # The gate is vacuous unless the chaos actually bit: at least one
+        # job must have needed a retry to reach the identical verdicts.
+        assert any(jr.attempts > 1 for jr in result.execution.results)

@@ -2,7 +2,7 @@
 """Perf trajectory harness: run the executor benchmarks, append to BENCH_executor.json.
 
 Every PR that touches the execution hot path should leave a data point
-behind.  This tool runs quick variants of the repository's five
+behind.  This tool runs quick variants of the repository's six
 executor-economics benchmarks -
 
 * **plan_cache** (the E4 family workload): the whole body-electronics
@@ -14,7 +14,11 @@ executor-economics benchmarks -
   thread pool,
 * **portability** (E1): the paper suite across all three bundled stands,
 * **async_stands** (A4): one script on N latency-simulated stands, serial
-  vs. one async worker -
+  vs. one async worker,
+* **chaos_overhead** (robustness PR): the wiper campaign with no chaos
+  policy vs. an installed-but-inert one - the no-policy path must stay
+  within 2 % (the hooks are a single ``ACTIVE is not None`` check when
+  off) -
 
 and **appends** the wall clocks, speedup ratios and plan-cache statistics
 as one trajectory point - keyed by git SHA + measurement timestamp - to
@@ -257,6 +261,51 @@ def bench_async_stands(rounds: int, *, stands: int, io_delay: float) -> dict:
     }
 
 
+def bench_chaos_overhead(rounds: int) -> dict:
+    """Robustness PR workload: the chaos hooks must be free when off.
+
+    Every instrument call, store commit and job dispatch now carries a
+    ``chaos.ACTIVE is not None`` guard.  This workload interleaves the
+    wiper campaign with *no* policy installed against the same campaign
+    under an installed-but-inert policy (all rates zero): the inert pass
+    pays for the full per-job schedule machinery, so the no-policy pass
+    landing within 2 % of it proves the guard itself costs nothing.
+    Passes interleave so a load spike on the machine hits both paths
+    alike.
+    """
+    from repro.chaos import ChaosPolicy, ChaosProfile
+    from repro.teststand import ResiliencePolicy
+
+    campaign, faults = build_campaign(CampaignSpec(dut="wiper_ecu"))
+    inert = ResiliencePolicy(
+        chaos=ChaosPolicy(seed=0, profile=ChaosProfile()))
+    campaign.run(faults)  # warm-up: plan compiles + VM binds
+    campaign.run(faults, resilience=inert)
+    no_policy = float("inf")
+    installed = float("inf")
+    # One campaign run is ~30 ms, far too small for a 2 % gate at one
+    # round; each measured pass runs the campaign three times and best-of
+    # covers extra interleaved rounds, keeping the comparison honest for
+    # about a second of harness cost.
+    for _ in range(max(7, rounds)):
+        start = time.perf_counter()
+        for _ in range(3):
+            campaign.run(faults)
+        no_policy = min(no_policy, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(3):
+            campaign.run(faults, resilience=inert)
+        installed = min(installed, time.perf_counter() - start)
+    return {
+        "workload": "wiper_ecu campaign, no chaos policy vs installed "
+                    "inert policy",
+        "no_policy_s": round(no_policy, 4),
+        "installed_s": round(installed, 4),
+        "overhead_ratio": round(no_policy / installed, 4)
+        if installed > 0 else None,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the executor perf benchmarks and write the "
@@ -281,6 +330,7 @@ def main(argv=None) -> int:
             "portability": bench_portability(rounds),
             "async_stands": bench_async_stands(
                 rounds, stands=async_stands, io_delay=io_delay),
+            "chaos_overhead": bench_chaos_overhead(rounds),
         }
     except Exception as exc:  # noqa: BLE001 - harness problem, not a gate
         print(f"error: benchmark harness failed: {exc}", file=sys.stderr)
@@ -298,6 +348,11 @@ def main(argv=None) -> int:
         # rides on - a VM that is slower than what it replaced is a
         # regression no matter what the parity tests say.
         "vm_faster_than_plan_only": vm_point["vm_s"] < vm_point["plan_only_s"],
+        # Robustness PR: with no chaos policy installed, the resilience
+        # hooks in the hot path must cost <= 2 % against the same campaign
+        # running under an installed-but-inert policy.
+        "chaos_hooks_free_when_off": workloads["chaos_overhead"]["no_policy_s"]
+        <= workloads["chaos_overhead"]["installed_s"] * 1.02,
     }
 
     point = {
@@ -339,6 +394,10 @@ def main(argv=None) -> int:
           f"for {workloads['portability']['runs_per_pass']} runs")
     print(f"  async stands    : {workloads['async_stands']['speedup']}x "
           f"over serial")
+    chaos_point = workloads["chaos_overhead"]
+    print(f"  chaos overhead  : {chaos_point['no_policy_s']:.3f} s off vs "
+          f"{chaos_point['installed_s']:.3f} s inert "
+          f"({chaos_point['overhead_ratio']}x)")
     if not all(gates.values()):
         failed = [name for name, passed in gates.items() if not passed]
         print(f"error: perf gate(s) failed: {', '.join(failed)}", file=sys.stderr)
